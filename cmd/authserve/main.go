@@ -1,0 +1,87 @@
+// Command authserve serves one or more zone files authoritatively over
+// real UDP and TCP (with AXFR). Behaviour flags reproduce the server
+// quirks the paper observed in the wild.
+//
+// Usage:
+//
+//	authserve -listen 127.0.0.1:5353 zone1.db zone2.db
+//	authserve -listen 127.0.0.1:5353 -legacy zone1.db   # FORMERR on CDS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"dnssecboot/internal/server"
+	"dnssecboot/internal/zone"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:5353", "UDP/TCP listen address")
+		legacy    = flag.Bool("legacy", false, "error on post-2003 query types (pre-RFC 3597 behaviour)")
+		refuseANY = flag.Bool("refuse-any", false, "answer ANY with RFC 8482 HINFO")
+		servfail  = flag.Float64("servfail-rate", 0, "probability of transient SERVFAIL")
+		drop      = flag.Float64("drop-rate", 0, "probability of silently dropping a query")
+		seed      = flag.Int64("seed", 1, "behaviour randomness seed")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "authserve: at least one zone file required")
+		os.Exit(2)
+	}
+
+	srv := server.New(*seed)
+	srv.Behavior = server.Behavior{
+		LegacyUnknownTypes: *legacy,
+		RefuseANY:          *refuseANY,
+		ServfailRate:       *servfail,
+		DropRate:           *drop,
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		origin := originFromFilename(path)
+		z, err := zone.Parse(f, origin)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		srv.AddZone(z)
+		fmt.Fprintf(os.Stderr, "authserve: loaded %s (%d records)\n", z.Origin, z.Size())
+	}
+
+	l, err := server.Listen(*listen, srv)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "authserve: listening on %s (udp+tcp)\n", l.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	_ = l.Close()
+}
+
+// originFromFilename derives "example.com." from "example.com.db" or
+// "example.com.zone"; files may also set $ORIGIN themselves.
+func originFromFilename(path string) string {
+	base := filepath.Base(path)
+	for _, suffix := range []string{".db", ".zone"} {
+		if strings.HasSuffix(base, suffix) {
+			return strings.TrimSuffix(base, suffix) + "."
+		}
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "authserve:", err)
+	os.Exit(1)
+}

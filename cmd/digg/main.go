@@ -1,0 +1,131 @@
+// Command digg is a minimal dig-style query client built on the
+// library's wire codec and UDP/TCP transport. It prints the full
+// response in master-file presentation form.
+//
+// Usage:
+//
+//	digg @127.0.0.1:5353 example.com CDS
+//	digg -axfr @127.0.0.1:5353 example.com
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/server"
+	"dnssecboot/internal/transport"
+)
+
+func main() {
+	var (
+		timeout = flag.Duration("timeout", 3*time.Second, "query timeout")
+		noDO    = flag.Bool("no-do", false, "clear the DNSSEC-OK bit")
+		axfr    = flag.Bool("axfr", false, "perform a zone transfer")
+	)
+	flag.Parse()
+	args := flag.Args()
+
+	var serverAddr netip.AddrPort
+	var rest []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "@") {
+			ap, err := netip.ParseAddrPort(strings.TrimPrefix(a, "@"))
+			if err != nil {
+				// Allow a bare address, defaulting to port 53.
+				ip, err2 := netip.ParseAddr(strings.TrimPrefix(a, "@"))
+				if err2 != nil {
+					fatal(err)
+				}
+				ap = netip.AddrPortFrom(ip, 53)
+			}
+			serverAddr = ap
+			continue
+		}
+		rest = append(rest, a)
+	}
+	if !serverAddr.IsValid() || len(rest) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: digg @server:port name [type]")
+		os.Exit(2)
+	}
+	name := rest[0]
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *axfr {
+		z, err := server.AXFR(ctx, serverAddr, name)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := z.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	qtype := dnswire.TypeA
+	if len(rest) > 1 {
+		t, err := dnswire.TypeFromString(strings.ToUpper(rest[1]))
+		if err != nil {
+			fatal(err)
+		}
+		qtype = t
+	}
+	q := dnswire.NewQuery(0, name, qtype)
+	q.SetEDNS(dnswire.EDNS{UDPSize: dnswire.MaxUDPPayload, DO: !*noDO})
+	c := &transport.Client{Timeout: *timeout, Retries: 1}
+	resp, err := c.Exchange(ctx, serverAddr, q)
+	if err != nil {
+		fatal(err)
+	}
+	printResponse(resp)
+}
+
+func printResponse(m *dnswire.Message) {
+	flags := []string{"qr"}
+	if m.Authoritative {
+		flags = append(flags, "aa")
+	}
+	if m.Truncated {
+		flags = append(flags, "tc")
+	}
+	if m.RecursionAvailable {
+		flags = append(flags, "ra")
+	}
+	if m.AuthenticData {
+		flags = append(flags, "ad")
+	}
+	fmt.Printf(";; status: %s, id: %d, flags: %s\n", m.Rcode, m.ID, strings.Join(flags, " "))
+	fmt.Printf(";; QUESTION\n")
+	for _, q := range m.Question {
+		fmt.Printf(";%s\n", q)
+	}
+	sections := []struct {
+		name string
+		rrs  []dnswire.RR
+	}{
+		{"ANSWER", m.Answer}, {"AUTHORITY", m.Authority}, {"ADDITIONAL", m.Additional},
+	}
+	for _, s := range sections {
+		if len(s.rrs) == 0 {
+			continue
+		}
+		fmt.Printf(";; %s\n", s.name)
+		for _, rr := range s.rrs {
+			if rr.Type() == dnswire.TypeOPT {
+				continue
+			}
+			fmt.Println(rr.String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "digg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command dnssec-scan reproduces the paper's measurement: it generates
+// the synthetic DNS ecosystem, runs the YoDNS-style scan over it, and
+// prints the evaluation artefacts (the §4.1 headline, Tables 1–3,
+// Figure 1, the §4.2 CDS findings and the Appendix-D query
+// accounting).
+//
+// Usage:
+//
+//	dnssec-scan [-scale 2000] [-seed 1] [-concurrency 16] [-out table3]
+//
+// -scale divides the paper's population counts; -out selects one
+// artefact (default: all).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"dnssecboot/internal/core"
+	"dnssecboot/internal/ecosystem"
+	"dnssecboot/internal/scan"
+)
+
+func main() {
+	var (
+		seed         = flag.Int64("seed", 1, "deterministic world/scan seed")
+		scale        = flag.Int("scale", 2000, "divide the paper's population counts by this")
+		concurrency  = flag.Int("concurrency", runtime.NumCPU(), "parallel zone scans")
+		out          = flag.String("out", "all", "artefact: all|headline|table1|table2|table3|figure1|cds|queries")
+		shortCircuit = flag.Bool("short-circuit", false, "registry short-circuit: probe signals only for candidates (Appendix D)")
+		maxZones     = flag.Int("max-zones", 0, "scan at most this many zones (0 = all)")
+		rate         = flag.Float64("rate", 0, "queries/second per nameserver (0 = unlimited; the paper used 50)")
+		noSignals    = flag.Bool("no-signals", false, "skip RFC 9615 signal probes")
+		dump         = flag.String("dump", "", "write raw observations as JSON lines to this file")
+		year         = flag.Int("year", 0, "generate a historical epoch instead of the 2025 population (e.g. 2017)")
+		csvDir       = flag.String("csv-dir", "", "also write table1/2/3 + figure1 as CSV files into this directory")
+	)
+	flag.Parse()
+
+	genStart := time.Now()
+	gcfg := ecosystem.Config{Seed: *seed, ScaleDivisor: *scale}
+	if *year != 0 {
+		gcfg.Profiles = ecosystem.ProfilesForEra(ecosystem.EraForYear(*year))
+	}
+	world, err := ecosystem.Generate(gcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generating world:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d zones across %d operators in %v\n",
+		len(world.Targets), len(world.Operators()), time.Since(genStart).Round(time.Millisecond))
+
+	study, err := core.Run(context.Background(), core.Options{
+		Seed:                  *seed,
+		World:                 world,
+		Concurrency:           *concurrency,
+		SignalOnlyCandidates:  *shortCircuit,
+		DisableSignalProbes:   *noSignals,
+		MaxZones:              *maxZones,
+		QueriesPerSecondPerNS: *rate,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scan:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "scanned %d zones in %v\n", len(study.Results), study.Elapsed.Round(time.Millisecond))
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dump:", err)
+			os.Exit(1)
+		}
+		if err := scan.WriteJSONL(f, study.Observations); err != nil {
+			fmt.Fprintln(os.Stderr, "dump:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dump:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote observations to %s\n", *dump)
+	}
+
+	r := study.Report
+	if *csvDir != "" {
+		for _, artefact := range []string{"table1", "table2", "table3", "figure1"} {
+			f, err := os.Create(filepath.Join(*csvDir, artefact+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+				os.Exit(1)
+			}
+			if err := r.WriteCSV(f, artefact); err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+				os.Exit(1)
+			}
+			_ = f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "wrote CSV series to %s\n", *csvDir)
+	}
+	artefacts := map[string]func() string{
+		"headline": r.Headline,
+		"table1":   func() string { return r.Table1(20) },
+		"table2":   func() string { return r.Table2(20) },
+		"table3":   r.Table3,
+		"figure1":  r.Figure1,
+		"cds":      r.CDSFindings,
+		"queries":  r.QueryStats,
+	}
+	if *out != "all" {
+		f, ok := artefacts[*out]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown artefact %q\n", *out)
+			os.Exit(2)
+		}
+		fmt.Println(f())
+		return
+	}
+	for _, name := range []string{"headline", "figure1", "table1", "table2", "cds", "table3", "queries"} {
+		fmt.Println(artefacts[name]())
+		fmt.Println()
+	}
+}

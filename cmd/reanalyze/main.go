@@ -1,0 +1,86 @@
+// Command reanalyze re-runs the paper's classification offline over a
+// JSONL observation dump produced by `dnssec-scan -dump` — the
+// workflow the authors describe in Appendix D (they retained all scan
+// data and analysed it after the campaign).
+//
+// Usage:
+//
+//	dnssec-scan -scale 20000 -dump obs.jsonl
+//	reanalyze -in obs.jsonl -out figure1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dnssecboot/internal/classify"
+	"dnssecboot/internal/report"
+	"dnssecboot/internal/scan"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "-", "JSONL observation dump (- for stdin)")
+		out = flag.String("out", "all", "artefact: all|headline|table1|table2|table3|figure1|cds|queries")
+		now = flag.String("now", "2025-04-15T12:00:00Z", "validation timestamp (RFC 3339) matching the scan")
+	)
+	flag.Parse()
+
+	ts, err := time.Parse(time.RFC3339, *now)
+	if err != nil {
+		fatal(err)
+	}
+	f := os.Stdin
+	if *in != "-" {
+		f, err = os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	raw, err := scan.ReadJSONL(f)
+	if err != nil {
+		fatal(err)
+	}
+	observations := make([]*scan.ZoneObservation, 0, len(raw))
+	for _, o := range raw {
+		obs, err := scan.FromJSON(o)
+		if err != nil {
+			fatal(err)
+		}
+		observations = append(observations, obs)
+	}
+	fmt.Fprintf(os.Stderr, "reanalyze: loaded %d observations\n", len(observations))
+
+	results := classify.New(ts).ClassifyAll(observations)
+	r := report.Build(results)
+	artefacts := map[string]func() string{
+		"headline": r.Headline,
+		"table1":   func() string { return r.Table1(20) },
+		"table2":   func() string { return r.Table2(20) },
+		"table3":   r.Table3,
+		"figure1":  r.Figure1,
+		"cds":      r.CDSFindings,
+		"queries":  r.QueryStats,
+	}
+	if *out != "all" {
+		fn, ok := artefacts[*out]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown artefact %q\n", *out)
+			os.Exit(2)
+		}
+		fmt.Println(fn())
+		return
+	}
+	for _, name := range []string{"headline", "figure1", "table1", "table2", "cds", "table3", "queries"} {
+		fmt.Println(artefacts[name]())
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reanalyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command zonesign signs a master-format zone file with freshly
+// generated keys and prints the signed zone, the DS record for the
+// parent, and the CDS/CDNSKEY records an operator would publish for
+// automated provisioning (RFC 7344).
+//
+// Usage:
+//
+//	zonesign -zone example.com -in zonefile [-alg ed25519] [-expired]
+//	zonesign -zone example.com -in zonefile -delete   # emit CDS delete
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dnssecboot/internal/dnssec"
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/zone"
+)
+
+func main() {
+	var (
+		origin  = flag.String("zone", "", "zone origin (required)")
+		in      = flag.String("in", "-", "input master file (- for stdin)")
+		alg     = flag.String("alg", "ed25519", "algorithm: rsasha256|ecdsap256|ecdsap384|ed25519")
+		expired = flag.Bool("expired", false, "produce already-expired signatures (testing)")
+		del     = flag.Bool("delete", false, "publish the RFC 8078 CDS deletion request instead of real CDS")
+	)
+	flag.Parse()
+	if *origin == "" {
+		fmt.Fprintln(os.Stderr, "zonesign: -zone is required")
+		os.Exit(2)
+	}
+
+	f := os.Stdin
+	if *in != "-" {
+		var err error
+		f, err = os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	z, err := zone.Parse(f, *origin)
+	if err != nil {
+		fatal(err)
+	}
+
+	algNum, err := algByName(*alg)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := zone.SignConfig{Algorithm: algNum, Expired: *expired}
+	if err := z.GenerateKeys(cfg, nil); err != nil {
+		fatal(err)
+	}
+	if *del {
+		z.PublishDeleteCDS()
+	} else if err := z.PublishCDS(dnswire.DigestSHA256); err != nil {
+		fatal(err)
+	}
+	if err := z.Sign(cfg); err != nil {
+		fatal(err)
+	}
+	if _, err := z.WriteTo(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	ksk := z.Keys[0]
+	ds, err := dnssec.DSFromKey(z.Origin, ksk.DNSKEY(), dnswire.DigestSHA256)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n; DS record for the parent zone:\n%s\t86400\tIN\tDS\t%s\n", z.Origin, ds.String())
+}
+
+func algByName(name string) (uint8, error) {
+	switch strings.ToLower(name) {
+	case "rsasha256":
+		return dnswire.AlgRSASHA256, nil
+	case "ecdsap256":
+		return dnswire.AlgECDSAP256SHA256, nil
+	case "ecdsap384":
+		return dnswire.AlgECDSAP384SHA384, nil
+	case "ed25519":
+		return dnswire.AlgEd25519, nil
+	}
+	return 0, fmt.Errorf("zonesign: unknown algorithm %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zonesign:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+// UDPScan: the same measurement pipeline, but over real UDP/TCP
+// sockets on loopback instead of the in-memory network. A miniature
+// world (root, a TLD, an operator with signal zones, three customer
+// zones) is served from one authoritative listener; the scanner then
+// resolves iteratively from the "root" and classifies each zone, and
+// the registry bootstraps the island — all through the kernel's
+// network stack.
+//
+//	go run ./examples/udpscan
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"dnssecboot/internal/bootstrap"
+	"dnssecboot/internal/classify"
+	"dnssecboot/internal/dnssec"
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/resolver"
+	"dnssecboot/internal/scan"
+	"dnssecboot/internal/server"
+	"dnssecboot/internal/transport"
+	"dnssecboot/internal/zone"
+)
+
+var (
+	now      = time.Date(2025, 4, 15, 12, 0, 0, 0, time.UTC)
+	loopback = netip.MustParseAddr("127.0.0.1")
+	signCfg  = zone.SignConfig{Now: now, Algorithm: dnswire.AlgEd25519}
+)
+
+func main() {
+	srv := server.New(1)
+
+	// All infrastructure glue points at 127.0.0.1; the resolver's
+	// DefaultPort routes everything to our single listener.
+	root := zone.New(".")
+	root.SetBasics("ns.root.", []string{"ns.root."}, 1)
+	root.MustAdd(rr("ns.root.", &dnswire.A{Addr: loopback}))
+	root.MustAdd(rr("test.", dnswire.NewNS("ns1.nic.test.")))
+	root.MustAdd(rr("ns1.nic.test.", &dnswire.A{Addr: loopback}))
+	check(root.GenerateKeys(signCfg, nil))
+
+	tld := zone.New("test.")
+	tld.SetBasics("ns1.nic.test.", []string{"ns1.nic.test."}, 1)
+	tld.MustAdd(rr("ns1.nic.test.", &dnswire.A{Addr: loopback}))
+	check(tld.GenerateKeys(signCfg, nil))
+	delegateSecure(root, tld)
+
+	op := zone.New("op.test.")
+	op.SetBasics("ns1.op.test.", []string{"ns1.op.test.", "ns2.op.test."}, 1)
+	op.MustAdd(rr("ns1.op.test.", &dnswire.A{Addr: loopback}))
+	op.MustAdd(rr("ns2.op.test.", &dnswire.A{Addr: loopback}))
+	check(op.GenerateKeys(signCfg, nil))
+	tld.MustAdd(rr("op.test.", dnswire.NewNS("ns1.op.test.")))
+	tld.MustAdd(rr("ns1.op.test.", &dnswire.A{Addr: loopback}))
+	addDS(tld, op)
+
+	nsHosts := []string{"ns1.op.test.", "ns2.op.test."}
+	signals := map[string]*zone.Zone{}
+	for _, h := range nsHosts {
+		sz := zone.New(zone.SignalZoneName(h))
+		sz.SetBasics(nsHosts[0], nsHosts, 1)
+		check(sz.GenerateKeys(signCfg, nil))
+		op.MustAdd(rr(sz.Origin, dnswire.NewNS(nsHosts[0])))
+		addDS(op, sz)
+		signals[h] = sz
+	}
+
+	// Three customer zones: secured / island-with-signal / unsigned.
+	secured := child("shop.test.", nsHosts)
+	check(secured.GenerateKeys(signCfg, nil))
+	check(secured.PublishCDS(dnswire.DigestSHA256))
+	check(secured.Sign(signCfg))
+	delegate(tld, secured)
+	addDS(tld, secured)
+
+	island := child("blog.test.", nsHosts)
+	check(island.GenerateKeys(signCfg, nil))
+	check(island.PublishCDS(dnswire.DigestSHA256))
+	check(island.Sign(signCfg))
+	delegate(tld, island) // no DS: a secure island
+	content := append(island.RRset(island.Origin, dnswire.TypeCDS),
+		island.RRset(island.Origin, dnswire.TypeCDNSKEY)...)
+	for h, sz := range signals {
+		recs, err := zone.SignalRecords(island.Origin, h, content)
+		check(err)
+		for _, r := range recs {
+			sz.MustAdd(r)
+		}
+	}
+
+	plain := child("cafe.test.", nsHosts)
+	delegate(tld, plain)
+
+	for _, sz := range signals {
+		check(sz.Sign(signCfg))
+	}
+	check(op.Sign(signCfg))
+	check(tld.Sign(signCfg))
+	check(root.Sign(signCfg))
+	for _, z := range []*zone.Zone{root, tld, op, secured, island, plain} {
+		srv.AddZone(z)
+	}
+	for _, sz := range signals {
+		srv.AddZone(sz)
+	}
+
+	l, err := server.Listen("127.0.0.1:0", srv)
+	check(err)
+	defer l.Close()
+	fmt.Printf("authoritative listener on %s (udp+tcp)\n\n", l.Addr())
+
+	rootDS, err := dnssec.DSFromKey(".", root.Keys[0].DNSKEY(), dnswire.DigestSHA256)
+	check(err)
+	r := &resolver.Resolver{
+		Net:         &transport.Client{Timeout: 2 * time.Second, Retries: 1},
+		Roots:       []netip.AddrPort{l.Addr()},
+		DefaultPort: l.Addr().Port(),
+	}
+	scanner := scan.New(scan.Config{
+		Resolver:     r,
+		Now:          now,
+		ProbeSignals: true,
+		TrustAnchor:  []dnswire.RR{{Name: ".", Class: dnswire.ClassIN, Data: rootDS}},
+	})
+	classifier := classify.New(now)
+
+	ctx := context.Background()
+	for _, name := range []string{"shop.test.", "blog.test.", "cafe.test."} {
+		obs := scanner.ScanZone(ctx, name)
+		cl := classifier.Classify(obs)
+		fmt.Printf("%-12s status=%-8s bucket=%-24q signal=%v queries=%d\n",
+			name, cl.Status, cl.Bucket.String(), cl.Signal.HasSignal, obs.Queries)
+	}
+
+	registry := &bootstrap.Registry{Parent: tld, Scanner: scanner, Now: now}
+	d, err := registry.Bootstrap(ctx, "blog.test.")
+	check(err)
+	fmt.Printf("\nbootstrap over real UDP: eligible=%v installed=%v reasons=%v\n", d.Eligible, d.Installed, d.Reasons)
+	obs := scanner.ScanZone(ctx, "blog.test.")
+	fmt.Printf("blog.test. after bootstrap: chain-valid=%v\n", obs.ChainValid)
+}
+
+func child(origin string, nsHosts []string) *zone.Zone {
+	z := zone.New(origin)
+	z.SetBasics(nsHosts[0], nsHosts, 1)
+	z.MustAdd(rr(origin, &dnswire.A{Addr: netip.MustParseAddr("203.0.113.80")}))
+	return z
+}
+
+func delegate(parent, c *zone.Zone) {
+	for _, h := range c.NSHosts() {
+		parent.MustAdd(rr(c.Origin, dnswire.NewNS(h)))
+	}
+}
+
+func delegateSecure(parent, c *zone.Zone) {
+	delegate(parent, c)
+	addDS(parent, c)
+}
+
+func addDS(parent, c *zone.Zone) {
+	ds, err := dnssec.DSFromKey(c.Origin, c.Keys[0].DNSKEY(), dnswire.DigestSHA256)
+	check(err)
+	parent.MustAdd(dnswire.RR{Name: c.Origin, Class: dnswire.ClassIN, TTL: 86400, Data: ds})
+}
+
+func rr(name string, data dnswire.RData) dnswire.RR {
+	return dnswire.RR{Name: name, Class: dnswire.ClassIN, TTL: 3600, Data: data}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

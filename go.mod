@@ -1,0 +1,3 @@
+module dnssecboot
+
+go 1.22

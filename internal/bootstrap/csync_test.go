@@ -1,0 +1,155 @@
+package bootstrap
+
+import (
+	"context"
+	"testing"
+
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/ecosystem"
+	"dnssecboot/internal/zone"
+)
+
+func securedZone(t *testing.T, f *fixture, op string) (string, *zone.Zone, *Registry) {
+	t.Helper()
+	child := f.findZone(t, func(tr *ecosystem.Truth) bool {
+		return tr.Operator == op && tr.Spec.State == ecosystem.StateSecured &&
+			tr.Spec.MultiOperator == "" && !tr.Spec.CDSInconsistent
+	})
+	z := f.eco.OperatorServer(op).Zone(child)
+	if z == nil {
+		t.Fatalf("zone %s not on %s server", child, op)
+	}
+	return child, z, f.registryFor(t, child)
+}
+
+func TestProcessCSYNCUpdatesNS(t *testing.T) {
+	f := newFixture(t)
+	child, z, reg := securedZone(t, f, "GoDaddy")
+	sign := zone.SignConfig{Now: f.eco.Now, Algorithm: dnswire.AlgEd25519}
+
+	// The operator renames its nameservers: new apex NS set + CSYNC.
+	oldHosts := z.NSHosts()
+	newHosts := []string{"ns3.domaincontrol.com.", "ns4.domaincontrol.com."}
+	z.RemoveSet(child, dnswire.TypeNS)
+	for _, h := range newHosts {
+		z.MustAdd(dnswire.RR{Name: child, TTL: 3600, Data: dnswire.NewNS(h)})
+	}
+	if err := z.ResignRRset(child, dnswire.TypeNS, sign); err != nil {
+		t.Fatal(err)
+	}
+	if err := PublishCSYNC(z, CSYNCImmediate, []dnswire.Type{dnswire.TypeNS}, sign); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := reg.ProcessCSYNC(context.Background(), child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Eligible || !d.Installed {
+		t.Fatalf("CSYNC not processed: %+v", d)
+	}
+	got := map[string]bool{}
+	for _, rr := range reg.Parent.RRset(child, dnswire.TypeNS) {
+		got[rr.Data.(*dnswire.NS).Target] = true
+	}
+	for _, h := range newHosts {
+		if !got[h] {
+			t.Errorf("parent NS missing %s after CSYNC", h)
+		}
+	}
+	for _, h := range oldHosts {
+		if got[h] {
+			t.Errorf("stale parent NS %s survived CSYNC", h)
+		}
+	}
+}
+
+func TestProcessCSYNCRequiresSecureDelegation(t *testing.T) {
+	f := newFixture(t)
+	child := f.findZone(t, cleanIsland("Cloudflare"))
+	reg := f.registryFor(t, child)
+	d, err := reg.ProcessCSYNC(context.Background(), child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eligible {
+		t.Fatal("CSYNC processed for an insecure delegation")
+	}
+	if !hasReason(d, "requires DNSSEC") {
+		t.Errorf("reasons = %v", d.Reasons)
+	}
+}
+
+func TestProcessCSYNCSerialGating(t *testing.T) {
+	f := newFixture(t)
+	child, z, reg := securedZone(t, f, "OVH")
+	sign := zone.SignConfig{Now: f.eco.Now, Algorithm: dnswire.AlgEd25519}
+
+	// soaminimum flag with a future serial: must be deferred.
+	soa := z.SOA().Data.(*dnswire.SOA)
+	z.RemoveSet(child, dnswire.TypeCSYNC)
+	z.MustAdd(dnswire.RR{Name: child, TTL: 3600, Data: &dnswire.CSYNC{
+		SOASerial: soa.Serial + 10, Flags: CSYNCSOAMinimum, Types: []dnswire.Type{dnswire.TypeNS}}})
+	if err := z.ResignRRset(child, dnswire.TypeCSYNC, sign); err != nil {
+		t.Fatal(err)
+	}
+	d, err := reg.ProcessCSYNC(context.Background(), child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eligible {
+		t.Fatal("future-serial CSYNC processed")
+	}
+	if !hasReason(d, "below CSYNC serial") {
+		t.Errorf("reasons = %v", d.Reasons)
+	}
+
+	// With a reachable serial it processes.
+	z.RemoveSet(child, dnswire.TypeCSYNC)
+	z.MustAdd(dnswire.RR{Name: child, TTL: 3600, Data: &dnswire.CSYNC{
+		SOASerial: soa.Serial, Flags: CSYNCSOAMinimum, Types: []dnswire.Type{dnswire.TypeNS}}})
+	if err := z.ResignRRset(child, dnswire.TypeCSYNC, sign); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := reg.ProcessCSYNC(context.Background(), child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Eligible {
+		t.Fatalf("reachable-serial CSYNC rejected: %v", d2.Reasons)
+	}
+}
+
+func TestProcessCSYNCRejectsUnsignedRecord(t *testing.T) {
+	f := newFixture(t)
+	child, z, reg := securedZone(t, f, "AWS")
+	// CSYNC added without re-signing: validation must fail.
+	z.MustAdd(dnswire.RR{Name: child, TTL: 3600, Data: &dnswire.CSYNC{
+		SOASerial: 1, Flags: CSYNCImmediate, Types: []dnswire.Type{dnswire.TypeNS}}})
+	d, err := reg.ProcessCSYNC(context.Background(), child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eligible {
+		t.Fatal("unsigned CSYNC accepted")
+	}
+	if !hasReason(d, "does not validate") {
+		t.Errorf("reasons = %v", d.Reasons)
+	}
+}
+
+func TestProcessCSYNCNoFlags(t *testing.T) {
+	f := newFixture(t)
+	child, z, reg := securedZone(t, f, "Namecheap")
+	sign := zone.SignConfig{Now: f.eco.Now, Algorithm: dnswire.AlgEd25519}
+	if err := PublishCSYNC(z, 0, []dnswire.Type{dnswire.TypeNS}, sign); err != nil {
+		t.Fatal(err)
+	}
+	d, err := reg.ProcessCSYNC(context.Background(), child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eligible {
+		t.Fatal("flagless CSYNC processed")
+	}
+}

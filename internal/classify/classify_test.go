@@ -1,0 +1,325 @@
+package classify
+
+import (
+	"testing"
+	"time"
+
+	"dnssecboot/internal/dnssec"
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/scan"
+)
+
+var testNow = time.Date(2025, 4, 15, 12, 0, 0, 0, time.UTC)
+
+// signedFixture builds a consistent (DNSKEY, sigs, DS, CDS) bundle for
+// a synthetic zone.
+type signedFixture struct {
+	zone    string
+	key     *dnssec.Key
+	keyRR   dnswire.RR
+	keySig  dnswire.RR
+	ds      dnswire.RR
+	cds     dnswire.RR
+	cdsSig  dnswire.RR
+	soaSigs []dnswire.RR
+}
+
+func newFixture(t *testing.T, zoneName string) *signedFixture {
+	t.Helper()
+	k, err := dnssec.GenerateKey(dnswire.AlgEd25519, dnswire.DNSKEYFlagZone|dnswire.DNSKEYFlagSEP, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &signedFixture{zone: zoneName, key: k}
+	f.keyRR = dnswire.RR{Name: zoneName, Class: dnswire.ClassIN, TTL: 3600, Data: k.DNSKEY()}
+	sig, err := dnssec.SignRRset([]dnswire.RR{f.keyRR}, k, dnssec.ValidityWindow(testNow, zoneName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.keySig = sig
+	ds, err := dnssec.DSFromKey(zoneName, k.DNSKEY(), dnswire.DigestSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ds = dnswire.RR{Name: zoneName, Class: dnswire.ClassIN, TTL: 86400, Data: ds}
+	cds, err := dnssec.CDSFromKey(zoneName, k.DNSKEY(), dnswire.DigestSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.cds = dnswire.RR{Name: zoneName, Class: dnswire.ClassIN, TTL: 3600, Data: cds}
+	cdsSig, err := dnssec.SignRRset([]dnswire.RR{f.cds}, k, dnssec.ValidityWindow(testNow, zoneName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.cdsSig = cdsSig
+	return f
+}
+
+func (f *signedFixture) observation(hasDS, chainValid bool) *scan.ZoneObservation {
+	obs := &scan.ZoneObservation{
+		Zone:       f.zone,
+		ParentNS:   []string{"ns1.op.net.", "ns2.op.net."},
+		ChildNS:    []string{"ns1.op.net.", "ns2.op.net."},
+		DNSKEY:     []dnswire.RR{f.keyRR},
+		DNSKEYSigs: []dnswire.RR{f.keySig},
+		ChainValid: chainValid,
+	}
+	if hasDS {
+		obs.DS = []dnswire.RR{f.ds}
+	}
+	for _, h := range obs.ParentNS {
+		obs.PerNS = append(obs.PerNS, scan.NSObservation{
+			Host:           h,
+			CDS:            []dnswire.RR{f.cds},
+			CDSSigs:        []dnswire.RR{f.cdsSig},
+			CDSOutcome:     scan.OutcomeOK,
+			CDNSKEYOutcome: scan.OutcomeNoData,
+		})
+	}
+	return obs
+}
+
+func TestStatusLadder(t *testing.T) {
+	c := New(testNow)
+	f := newFixture(t, "x.com.")
+
+	cases := []struct {
+		name string
+		obs  *scan.ZoneObservation
+		want Status
+	}{
+		{"unresolved", &scan.ZoneObservation{Zone: "x.com.", ResolveErr: "boom"}, StatusUnresolved},
+		{"unsigned", &scan.ZoneObservation{Zone: "x.com.", ParentNS: []string{"ns1.op.net."}}, StatusUnsigned},
+		{"errant-ds", &scan.ZoneObservation{Zone: "x.com.", ParentNS: []string{"ns1.op.net."}, DS: []dnswire.RR{f.ds}}, StatusInvalid},
+		{"secured", f.observation(true, true), StatusSecured},
+		{"invalid", f.observation(true, false), StatusInvalid},
+		{"island", f.observation(false, true), StatusIsland},
+	}
+	for _, tc := range cases {
+		if got := c.Classify(tc.obs).Status; got != tc.want {
+			t.Errorf("%s: status = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCDSInfoConsistency(t *testing.T) {
+	c := New(testNow)
+	f := newFixture(t, "x.com.")
+	obs := f.observation(false, true)
+	r := c.Classify(obs)
+	if !r.CDS.Present || !r.CDS.Consistent || !r.CDS.MatchesDNSKEY || !r.CDS.SigValid {
+		t.Errorf("clean CDS info = %+v", r.CDS)
+	}
+	if r.Bucket != PotentialBootstrap {
+		t.Errorf("bucket = %s", r.Bucket)
+	}
+
+	// Second NS serves a different CDS → inconsistent.
+	other := newFixture(t, "x.com.")
+	obs2 := f.observation(false, true)
+	obs2.PerNS[1].CDS = []dnswire.RR{other.cds}
+	r2 := c.Classify(obs2)
+	if r2.CDS.Consistent {
+		t.Error("inconsistency not detected")
+	}
+	if r2.Bucket != PotentialIslandInvalidCDS {
+		t.Errorf("bucket = %s", r2.Bucket)
+	}
+}
+
+func TestCDSQueryFailure(t *testing.T) {
+	c := New(testNow)
+	f := newFixture(t, "x.com.")
+	obs := f.observation(false, true)
+	obs.PerNS[0].CDSOutcome = scan.OutcomeError
+	obs.PerNS[0].CDS = nil
+	r := c.Classify(obs)
+	if !r.CDS.QueryFailed {
+		t.Error("query failure not recorded")
+	}
+	// The other NS still answered, so CDS is present and consistent.
+	if !r.CDS.Present || !r.CDS.Consistent {
+		t.Errorf("CDS info = %+v", r.CDS)
+	}
+}
+
+func TestCDSDeleteDetection(t *testing.T) {
+	c := New(testNow)
+	f := newFixture(t, "x.com.")
+	obs := f.observation(false, true)
+	del := dnswire.RR{Name: "x.com.", Class: dnswire.ClassIN, TTL: 0, Data: dnssec.DeleteCDS()}
+	for i := range obs.PerNS {
+		obs.PerNS[i].CDS = []dnswire.RR{del}
+		obs.PerNS[i].CDSSigs = nil
+	}
+	r := c.Classify(obs)
+	if !r.CDS.Delete {
+		t.Error("delete not detected")
+	}
+	if r.Bucket != PotentialIslandDelete {
+		t.Errorf("bucket = %s", r.Bucket)
+	}
+}
+
+func TestCDSInUnsignedZone(t *testing.T) {
+	c := New(testNow)
+	f := newFixture(t, "x.com.")
+	obs := f.observation(false, true)
+	obs.DNSKEY, obs.DNSKEYSigs = nil, nil
+	obs.ChainValid = false
+	r := c.Classify(obs)
+	if r.Status != StatusUnsigned {
+		t.Fatalf("status = %s", r.Status)
+	}
+	if !r.CDS.InUnsignedZone {
+		t.Error("CDS-in-unsigned not flagged")
+	}
+}
+
+func TestOrphanCDS(t *testing.T) {
+	c := New(testNow)
+	f := newFixture(t, "x.com.")
+	stranger := newFixture(t, "x.com.")
+	obs := f.observation(false, true)
+	// Both NSes consistently serve a CDS for a key not in the zone.
+	for i := range obs.PerNS {
+		obs.PerNS[i].CDS = []dnswire.RR{stranger.cds}
+		obs.PerNS[i].CDSSigs = []dnswire.RR{stranger.cdsSig}
+	}
+	r := c.Classify(obs)
+	if r.CDS.MatchesDNSKEY {
+		t.Error("orphan CDS reported as matching")
+	}
+	if r.Bucket != PotentialIslandInvalidCDS {
+		t.Errorf("bucket = %s", r.Bucket)
+	}
+}
+
+func TestSignalLadderSecured(t *testing.T) {
+	c := New(testNow)
+	f := newFixture(t, "x.com.")
+	obs := f.observation(true, true)
+	obs.Signals = []scan.SignalObservation{
+		{NSHost: "ns1.op.net.", Owner: "_dsboot.x.com._signal.ns1.op.net.",
+			Records: []dnswire.RR{f.cds}, Outcome: scan.OutcomeOK, Secure: true},
+	}
+	r := c.Classify(obs)
+	if !r.Signal.HasSignal || !r.Signal.AlreadySecured {
+		t.Errorf("signal info = %+v", r.Signal)
+	}
+}
+
+func TestSignalLadderPotentialAndViolations(t *testing.T) {
+	c := New(testNow)
+	f := newFixture(t, "x.com.")
+	obs := f.observation(false, true)
+	sigOwner := func(host string) string { return "_dsboot.x.com._signal." + host }
+	obs.Signals = []scan.SignalObservation{
+		{NSHost: "ns1.op.net.", Owner: sigOwner("ns1.op.net."),
+			Records: []dnswire.RR{{Name: sigOwner("ns1.op.net."), Class: dnswire.ClassIN, TTL: 3600, Data: f.cds.Data}},
+			Outcome: scan.OutcomeOK, Secure: true},
+		{NSHost: "ns2.op.net.", Owner: sigOwner("ns2.op.net."),
+			Records: []dnswire.RR{{Name: sigOwner("ns2.op.net."), Class: dnswire.ClassIN, TTL: 3600, Data: f.cds.Data}},
+			Outcome: scan.OutcomeOK, Secure: true},
+	}
+	r := c.Classify(obs)
+	if !r.Signal.Potential || !r.Signal.Correct {
+		t.Fatalf("clean signal = %+v", r.Signal)
+	}
+
+	// Missing under one NS.
+	obs.Signals[1].Records = nil
+	obs.Signals[1].Outcome = scan.OutcomeNXDomain
+	r = c.Classify(obs)
+	if r.Signal.Correct || !containsViolation(r.Signal.Violations, ViolationMissingUnderNS) {
+		t.Errorf("missing-NS signal = %+v", r.Signal)
+	}
+	obs.Signals[1].Records = []dnswire.RR{{Name: sigOwner("ns2.op.net."), Class: dnswire.ClassIN, TTL: 3600, Data: f.cds.Data}}
+	obs.Signals[1].Outcome = scan.OutcomeOK
+	obs.Signals[1].Secure = true
+
+	// Insecure signal.
+	obs.Signals[0].Secure = false
+	r = c.Classify(obs)
+	if r.Signal.Correct || !containsViolation(r.Signal.Violations, ViolationInsecure) {
+		t.Errorf("insecure signal = %+v", r.Signal)
+	}
+	obs.Signals[0].Secure = true
+
+	// Zone cut.
+	obs.Signals[0].ZoneCut = true
+	r = c.Classify(obs)
+	if r.Signal.Correct || !containsViolation(r.Signal.Violations, ViolationZoneCut) {
+		t.Errorf("zone-cut signal = %+v", r.Signal)
+	}
+	obs.Signals[0].ZoneCut = false
+
+	// Content mismatch with the in-zone CDS.
+	other := newFixture(t, "x.com.")
+	obs.Signals[0].Records = []dnswire.RR{{Name: sigOwner("ns1.op.net."), Class: dnswire.ClassIN, TTL: 3600, Data: other.cds.Data}}
+	r = c.Classify(obs)
+	if r.Signal.Correct || !containsViolation(r.Signal.Violations, ViolationMismatch) {
+		t.Errorf("mismatch signal = %+v", r.Signal)
+	}
+}
+
+func TestSignalDeletionRequest(t *testing.T) {
+	c := New(testNow)
+	f := newFixture(t, "x.com.")
+	obs := f.observation(false, true)
+	del := dnswire.RR{Name: "x.com.", Class: dnswire.ClassIN, TTL: 0, Data: dnssec.DeleteCDS()}
+	for i := range obs.PerNS {
+		obs.PerNS[i].CDS = []dnswire.RR{del}
+		obs.PerNS[i].CDSSigs = nil
+	}
+	obs.Signals = []scan.SignalObservation{
+		{NSHost: "ns1.op.net.", Owner: "_dsboot.x.com._signal.ns1.op.net.",
+			Records: []dnswire.RR{{Name: "_dsboot.x.com._signal.ns1.op.net.", Class: dnswire.ClassIN, Data: dnssec.DeleteCDS()}},
+			Outcome: scan.OutcomeOK, Secure: true},
+	}
+	r := c.Classify(obs)
+	if !r.Signal.DeletionRequest {
+		t.Errorf("deletion-request signal = %+v", r.Signal)
+	}
+}
+
+func TestSignalInvalidDNSSEC(t *testing.T) {
+	c := New(testNow)
+	f := newFixture(t, "x.com.")
+	obs := f.observation(true, false) // invalid chain
+	obs.Signals = []scan.SignalObservation{
+		{NSHost: "ns1.op.net.", Owner: "_dsboot.x.com._signal.ns1.op.net.",
+			Records: []dnswire.RR{f.cds}, Outcome: scan.OutcomeOK, Secure: true},
+	}
+	r := c.Classify(obs)
+	if !r.Signal.InvalidDNSSEC {
+		t.Errorf("invalid-DNSSEC signal = %+v", r.Signal)
+	}
+}
+
+func containsViolation(vs []SignalViolation, want SignalViolation) bool {
+	for _, v := range vs {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusUnresolved: "unresolved", StatusUnsigned: "unsigned",
+		StatusSecured: "secured", StatusInvalid: "invalid", StatusIsland: "island",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d) = %s", s, s.String())
+		}
+	}
+	for p, want := range map[Potential]string{
+		PotentialNone: "without DNSSEC", PotentialBootstrap: "possible to bootstrap",
+	} {
+		if p.String() != want {
+			t.Errorf("Potential(%d) = %s", p, p.String())
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package core ties the reproduction together: it generates (or
+// accepts) a synthetic DNS ecosystem, runs the YoDNS-style measurement
+// scan over it, classifies every zone the way the paper's §4 does, and
+// aggregates the results into the paper's tables and figures. It is
+// the library's primary entry point:
+//
+//	study, err := core.Run(ctx, core.Options{ScaleDivisor: 2000})
+//	fmt.Println(study.Report.Headline())
+//	fmt.Println(study.Report.Table3())
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dnssecboot/internal/classify"
+	"dnssecboot/internal/ecosystem"
+	"dnssecboot/internal/rate"
+	"dnssecboot/internal/report"
+	"dnssecboot/internal/resolver"
+	"dnssecboot/internal/scan"
+)
+
+// Options configure a full study run.
+type Options struct {
+	// Seed makes the world and the scan deterministic.
+	Seed int64
+	// ScaleDivisor divides the paper's population counts (see
+	// ecosystem.Config). Zero means 2000.
+	ScaleDivisor int
+	// Concurrency is the number of parallel zone scans (default 8).
+	Concurrency int
+	// ProbeSignals enables the RFC 9615 signal-zone measurements
+	// (§4.3/§4.4). On by default in Run.
+	DisableSignalProbes bool
+	// SignalOnlyCandidates applies the registry short-circuit of
+	// Appendix D: probe signals only for signed or CDS-bearing zones.
+	SignalOnlyCandidates bool
+	// QueriesPerSecondPerNS applies the paper's per-NS rate limit
+	// (50 q/s in §3). Zero disables limiting (simulation default:
+	// the in-memory network has no load to protect).
+	QueriesPerSecondPerNS float64
+	// MaxZones truncates the scan list; zero scans everything.
+	MaxZones int
+	// World reuses an existing ecosystem instead of generating one.
+	World *ecosystem.Ecosystem
+}
+
+// Study is the outcome of a run.
+type Study struct {
+	// World is the scanned ecosystem.
+	World *ecosystem.Ecosystem
+	// Observations holds the raw scanner output, index-aligned with
+	// World.Targets (or its truncation).
+	Observations []*scan.ZoneObservation
+	// Results holds the per-zone classifications.
+	Results []*classify.Result
+	// Report aggregates the results into the paper's tables.
+	Report *report.Aggregate
+	// Elapsed is the wall-clock scan duration.
+	Elapsed time.Duration
+}
+
+// NewScanner builds a scanner wired to a world, with the paper's
+// methodology defaults (Cloudflare sampling at 5 % full scans).
+func NewScanner(world *ecosystem.Ecosystem, opts Options) *scan.Scanner {
+	r := &resolver.Resolver{Net: world.Net, Roots: world.Roots}
+	if opts.QueriesPerSecondPerNS > 0 {
+		r.Limits = rate.NewPerKey(opts.QueriesPerSecondPerNS, int(opts.QueriesPerSecondPerNS))
+	}
+	return scan.New(scan.Config{
+		Resolver:             r,
+		Now:                  world.Now,
+		Concurrency:          opts.Concurrency,
+		SampleSuffixes:       world.CloudflareSuffixes,
+		FullScanFraction:     0.05,
+		ProbeSignals:         !opts.DisableSignalProbes,
+		SignalOnlyCandidates: opts.SignalOnlyCandidates,
+		TrustAnchor:          world.TrustAnchor,
+		Seed:                 opts.Seed,
+	})
+}
+
+// Run executes the full pipeline: generate → scan → classify → report.
+func Run(ctx context.Context, opts Options) (*Study, error) {
+	world := opts.World
+	if world == nil {
+		var err error
+		world, err = ecosystem.Generate(ecosystem.Config{
+			Seed:         opts.Seed,
+			ScaleDivisor: opts.ScaleDivisor,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: generating world: %w", err)
+		}
+	}
+	targets := world.Targets
+	if opts.MaxZones > 0 && len(targets) > opts.MaxZones {
+		targets = targets[:opts.MaxZones]
+	}
+	scanner := NewScanner(world, opts)
+	start := time.Now()
+	observations := scanner.ScanAll(ctx, targets)
+	elapsed := time.Since(start)
+
+	classifier := classify.New(world.Now)
+	results := classifier.ClassifyAll(observations)
+	return &Study{
+		World:        world,
+		Observations: observations,
+		Results:      results,
+		Report:       report.Build(results),
+		Elapsed:      elapsed,
+	}, nil
+}

@@ -1,0 +1,117 @@
+package dnswire
+
+import (
+	"fmt"
+)
+
+// OPT is the EDNS(0) pseudo-record payload (RFC 6891). Options are kept
+// as opaque code/data pairs.
+type OPT struct {
+	Options []EDNSOption
+}
+
+// EDNSOption is a single EDNS option TLV.
+type EDNSOption struct {
+	Code uint16
+	Data []byte
+}
+
+// EDNS option codes used by this library.
+const (
+	EDNSOptionCookie       uint16 = 10
+	EDNSOptionExtendedErr  uint16 = 15
+	EDNSOptionPadding      uint16 = 12
+	edeInfoCodeStaleAnswer        = 3
+)
+
+// Type implements RData.
+func (*OPT) Type() Type { return TypeOPT }
+
+func (o *OPT) pack(b *builder) {
+	for _, opt := range o.Options {
+		b.u16(opt.Code)
+		b.u16(uint16(len(opt.Data)))
+		b.bytes(opt.Data)
+	}
+}
+
+func (o *OPT) unpack(p *parser, rdlen int) error {
+	end := p.off + rdlen
+	o.Options = nil
+	for p.off < end {
+		code, err := p.u16()
+		if err != nil {
+			return err
+		}
+		n, err := p.u16()
+		if err != nil {
+			return err
+		}
+		data, err := p.take(int(n))
+		if err != nil {
+			return err
+		}
+		o.Options = append(o.Options, EDNSOption{Code: code, Data: data})
+	}
+	return nil
+}
+
+func (o *OPT) String() string {
+	return fmt.Sprintf("; EDNS options=%d", len(o.Options))
+}
+
+// EDNS describes the EDNS(0) state of a message, decoded from or
+// encoded into its OPT pseudo-record.
+type EDNS struct {
+	UDPSize       uint16
+	ExtendedRcode uint8 // upper 8 bits of the 12-bit rcode
+	Version       uint8
+	DO            bool // DNSSEC OK
+	Options       []EDNSOption
+}
+
+// SetEDNS attaches (or replaces) the OPT record on m.
+func (m *Message) SetEDNS(e EDNS) {
+	ttl := uint32(e.ExtendedRcode)<<24 | uint32(e.Version)<<16
+	if e.DO {
+		ttl |= 1 << 15
+	}
+	opt := RR{
+		Name:  ".",
+		Class: Class(e.UDPSize),
+		TTL:   ttl,
+		Data:  &OPT{Options: e.Options},
+	}
+	for i, rr := range m.Additional {
+		if rr.Type() == TypeOPT {
+			m.Additional[i] = opt
+			return
+		}
+	}
+	m.Additional = append(m.Additional, opt)
+}
+
+// GetEDNS extracts the EDNS state from m's OPT record, if present.
+func (m *Message) GetEDNS() (EDNS, bool) {
+	for _, rr := range m.Additional {
+		if rr.Type() != TypeOPT {
+			continue
+		}
+		opt := rr.Data.(*OPT)
+		return EDNS{
+			UDPSize:       uint16(rr.Class),
+			ExtendedRcode: uint8(rr.TTL >> 24),
+			Version:       uint8(rr.TTL >> 16),
+			DO:            rr.TTL&(1<<15) != 0,
+			Options:       opt.Options,
+		}, true
+	}
+	return EDNS{}, false
+}
+
+// DNSSECOK reports whether the message carries an OPT record with the
+// DO bit set.
+func (m *Message) DNSSECOK() bool {
+	e, ok := m.GetEDNS()
+	return ok && e.DO
+}

@@ -1,0 +1,353 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// RR is a resource record: owner name, class, TTL and typed RDATA.
+type RR struct {
+	Name  string
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// Type returns the RR type taken from the typed payload.
+func (r RR) Type() Type {
+	if r.Data == nil {
+		return TypeNone
+	}
+	return r.Data.Type()
+}
+
+// String renders the record in master-file presentation form.
+func (r RR) String() string {
+	return fmt.Sprintf("%s\t%d\t%s\t%s\t%s",
+		CanonicalName(r.Name), r.TTL, r.Class, r.Type(), r.Data.String())
+}
+
+// Equal reports whether two RRs have the same owner, class, type and
+// RDATA (TTL excluded, per RRset-membership semantics).
+func (r RR) Equal(o RR) bool {
+	if CanonicalName(r.Name) != CanonicalName(o.Name) || r.Class != o.Class || r.Type() != o.Type() {
+		return false
+	}
+	a, errA := RDataWire(r.Data)
+	b, errB := RDataWire(o.Data)
+	return errA == nil && errB == nil && string(a) == string(b)
+}
+
+// RDataWire returns the uncompressed wire encoding of an RDATA payload.
+func RDataWire(d RData) ([]byte, error) {
+	b := &builder{}
+	d.pack(b)
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.buf, nil
+}
+
+// Question is a query tuple.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig-like form.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", CanonicalName(q.Name), q.Class, q.Type)
+}
+
+// Message is a DNS message (RFC 1035 §4).
+type Message struct {
+	ID                 uint16
+	Response           bool
+	Opcode             Opcode
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	AuthenticData      bool
+	CheckingDisabled   bool
+	Rcode              Rcode
+
+	Question   []Question
+	Answer     []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Errors returned by message packing and unpacking.
+var (
+	ErrTooManyRecords = errors.New("dnswire: section exceeds 65535 records")
+	// ErrTruncated indicates the input ended before the structure did.
+	ErrTruncated = errTruncated
+)
+
+// Pack serialises the message with name compression on owner names.
+func (m *Message) Pack() ([]byte, error) {
+	return m.packLimit(0)
+}
+
+// PackTruncating serialises the message; if the result exceeds limit
+// octets, answer/authority/additional records are dropped and the TC
+// bit set, mirroring authoritative-server UDP behaviour. limit <= 0
+// means no limit.
+func (m *Message) PackTruncating(limit int) ([]byte, error) {
+	return m.packLimit(limit)
+}
+
+func (m *Message) packLimit(limit int) ([]byte, error) {
+	out, err := m.packOnce()
+	if err != nil {
+		return nil, err
+	}
+	if limit <= 0 || len(out) <= limit {
+		return out, nil
+	}
+	// Too large: emit a truncated response with an empty answer section
+	// (clients retry over TCP; partial RRsets would be misleading).
+	tm := *m
+	tm.Answer, tm.Authority = nil, nil
+	tm.Additional = optOnly(m.Additional)
+	tm.Truncated = true
+	return tm.packOnce()
+}
+
+func optOnly(rrs []RR) []RR {
+	for _, rr := range rrs {
+		if rr.Type() == TypeOPT {
+			return []RR{rr}
+		}
+	}
+	return nil
+}
+
+func (m *Message) packOnce() ([]byte, error) {
+	for _, s := range [][]RR{m.Answer, m.Authority, m.Additional} {
+		if len(s) > 0xFFFF {
+			return nil, ErrTooManyRecords
+		}
+	}
+	if len(m.Question) > 0xFFFF {
+		return nil, ErrTooManyRecords
+	}
+	b := &builder{cmap: make(map[string]int)}
+	b.u16(m.ID)
+	var f1 uint8
+	if m.Response {
+		f1 |= 0x80
+	}
+	f1 |= uint8(m.Opcode) << 3
+	if m.Authoritative {
+		f1 |= 0x04
+	}
+	if m.Truncated {
+		f1 |= 0x02
+	}
+	if m.RecursionDesired {
+		f1 |= 0x01
+	}
+	b.u8(f1)
+	var f2 uint8
+	if m.RecursionAvailable {
+		f2 |= 0x80
+	}
+	if m.AuthenticData {
+		f2 |= 0x20
+	}
+	if m.CheckingDisabled {
+		f2 |= 0x10
+	}
+	f2 |= uint8(m.Rcode & 0x0F)
+	b.u8(f2)
+	b.u16(uint16(len(m.Question)))
+	b.u16(uint16(len(m.Answer)))
+	b.u16(uint16(len(m.Authority)))
+	b.u16(uint16(len(m.Additional)))
+	for _, q := range m.Question {
+		b.name(q.Name, true)
+		b.u16(uint16(q.Type))
+		b.u16(uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answer, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if err := packRR(b, rr, m.Rcode); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.buf, nil
+}
+
+func packRR(b *builder, rr RR, rcode Rcode) error {
+	if rr.Data == nil {
+		return errors.New("dnswire: RR with nil data")
+	}
+	b.name(rr.Name, true)
+	b.u16(uint16(rr.Type()))
+	if rr.Type() == TypeOPT {
+		// For OPT, the class field carries the UDP payload size and the
+		// TTL carries extended rcode/flags; the caller encodes those
+		// into Class/TTL via the OPT helpers.
+		b.u16(uint16(rr.Class))
+		ttl := rr.TTL
+		// Fold the upper bits of the rcode into the extended-rcode byte.
+		ttl = ttl&0x00FFFFFF | uint32(rcode>>4)<<24
+		b.u32(ttl)
+	} else {
+		b.u16(uint16(rr.Class))
+		b.u32(rr.TTL)
+	}
+	// Reserve rdlength, pack rdata, then patch.
+	lenAt := len(b.buf)
+	b.u16(0)
+	start := len(b.buf)
+	rr.Data.pack(b)
+	if b.err != nil {
+		return b.err
+	}
+	rdlen := len(b.buf) - start
+	if rdlen > 0xFFFF {
+		return fmt.Errorf("dnswire: rdata of %s exceeds 65535 octets", rr.Type())
+	}
+	b.buf[lenAt] = byte(rdlen >> 8)
+	b.buf[lenAt+1] = byte(rdlen)
+	return nil
+}
+
+// Unpack parses a wire-format message.
+func Unpack(msg []byte) (*Message, error) {
+	p := &parser{msg: msg}
+	m := &Message{}
+	var err error
+	if m.ID, err = p.u16(); err != nil {
+		return nil, err
+	}
+	f1, err := p.u8()
+	if err != nil {
+		return nil, err
+	}
+	f2, err := p.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Response = f1&0x80 != 0
+	m.Opcode = Opcode(f1 >> 3 & 0x0F)
+	m.Authoritative = f1&0x04 != 0
+	m.Truncated = f1&0x02 != 0
+	m.RecursionDesired = f1&0x01 != 0
+	m.RecursionAvailable = f2&0x80 != 0
+	m.AuthenticData = f2&0x20 != 0
+	m.CheckingDisabled = f2&0x10 != 0
+	m.Rcode = Rcode(f2 & 0x0F)
+	var counts [4]uint16
+	for i := range counts {
+		if counts[i], err = p.u16(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		if q.Name, err = p.name(); err != nil {
+			return nil, err
+		}
+		t, err := p.u16()
+		if err != nil {
+			return nil, err
+		}
+		q.Type = Type(t)
+		c, err := p.u16()
+		if err != nil {
+			return nil, err
+		}
+		q.Class = Class(c)
+		m.Question = append(m.Question, q)
+	}
+	for si, dst := range []*[]RR{&m.Answer, &m.Authority, &m.Additional} {
+		for i := 0; i < int(counts[si+1]); i++ {
+			rr, extRcode, err := unpackRR(p)
+			if err != nil {
+				return nil, err
+			}
+			if extRcode != nil {
+				m.Rcode |= Rcode(*extRcode) << 4
+			}
+			*dst = append(*dst, rr)
+		}
+	}
+	return m, nil
+}
+
+func unpackRR(p *parser) (RR, *uint8, error) {
+	var rr RR
+	var err error
+	if rr.Name, err = p.name(); err != nil {
+		return rr, nil, err
+	}
+	t16, err := p.u16()
+	if err != nil {
+		return rr, nil, err
+	}
+	typ := Type(t16)
+	c16, err := p.u16()
+	if err != nil {
+		return rr, nil, err
+	}
+	rr.Class = Class(c16)
+	if rr.TTL, err = p.u32(); err != nil {
+		return rr, nil, err
+	}
+	rdlen, err := p.u16()
+	if err != nil {
+		return rr, nil, err
+	}
+	if p.remaining() < int(rdlen) {
+		return rr, nil, errTruncated
+	}
+	data := newRData(typ)
+	start := p.off
+	if err := data.unpack(p, int(rdlen)); err != nil {
+		return rr, nil, err
+	}
+	if p.off != start+int(rdlen) {
+		return rr, nil, fmt.Errorf("dnswire: %s rdata length mismatch", typ)
+	}
+	rr.Data = data
+	var ext *uint8
+	if typ == TypeOPT {
+		v := uint8(rr.TTL >> 24)
+		ext = &v
+	}
+	return rr, ext, nil
+}
+
+// NewQuery builds a standard query for (name, type) with a fresh
+// question section and the RD bit clear (iterative-resolver style).
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		ID:       id,
+		Question: []Question{{Name: CanonicalName(name), Type: t, Class: ClassIN}},
+	}
+}
+
+// Summary renders a compact one-line description, useful in logs.
+func (m *Message) Summary() string {
+	var sb strings.Builder
+	if m.Response {
+		fmt.Fprintf(&sb, "resp %s", m.Rcode)
+	} else {
+		sb.WriteString("query")
+	}
+	for _, q := range m.Question {
+		fmt.Fprintf(&sb, " %s", q)
+	}
+	fmt.Fprintf(&sb, " an=%d au=%d ad=%d", len(m.Answer), len(m.Authority), len(m.Additional))
+	return sb.String()
+}

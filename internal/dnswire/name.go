@@ -1,0 +1,204 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Domain-name handling. Names are carried through the library in
+// presentation form: lowercase, fully qualified, with a trailing dot
+// (the root is "."). CanonicalName normalises arbitrary input into that
+// form. Wire encoding and decoding live in packName / unpackName.
+
+// Errors returned by name handling.
+var (
+	ErrNameTooLong  = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel   = errors.New("dnswire: empty label")
+	ErrBadPointer   = errors.New("dnswire: bad compression pointer")
+)
+
+const (
+	maxNameWireLen = 255
+	maxLabelLen    = 63
+)
+
+// CanonicalName lowercases s and ensures it is fully qualified. The
+// empty string and "." both normalise to the root ".".
+func CanonicalName(s string) string {
+	if s == "" || s == "." {
+		return "."
+	}
+	s = strings.ToLower(s)
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	return s
+}
+
+// SplitLabels splits a presentation-form name into its labels, not
+// including the root. SplitLabels(".") returns nil.
+func SplitLabels(name string) []string {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return nil
+	}
+	return strings.Split(name, ".")
+}
+
+// CountLabels returns the number of labels in name, excluding the root.
+func CountLabels(name string) int {
+	return len(SplitLabels(name))
+}
+
+// Parent returns the name with its leftmost label removed; the parent of
+// the root is the root.
+func Parent(name string) string {
+	name = CanonicalName(name)
+	if name == "." {
+		return "."
+	}
+	i := strings.IndexByte(name, '.')
+	if i < 0 || i == len(name)-1 {
+		return "."
+	}
+	return name[i+1:]
+}
+
+// IsSubdomain reports whether child is equal to or underneath parent.
+// Both arguments are normalised before comparison.
+func IsSubdomain(child, parent string) bool {
+	child, parent = CanonicalName(child), CanonicalName(parent)
+	if parent == "." {
+		return true
+	}
+	if child == parent {
+		return true
+	}
+	return strings.HasSuffix(child, "."+parent)
+}
+
+// Join prepends labels to a name: Join("_dsboot", "example.com.")
+// yields "_dsboot.example.com.".
+func Join(prefix, name string) string {
+	name = CanonicalName(name)
+	if name == "." {
+		return CanonicalName(prefix)
+	}
+	return CanonicalName(prefix + "." + name)
+}
+
+// NameWireLength returns the encoded (uncompressed) length of name in
+// octets, and whether the name is valid.
+func NameWireLength(name string) (int, error) {
+	name = CanonicalName(name)
+	if name == "." {
+		return 1, nil
+	}
+	n := 1 // terminal root byte
+	for _, l := range SplitLabels(name) {
+		if l == "" {
+			return 0, ErrEmptyLabel
+		}
+		if len(l) > maxLabelLen {
+			return 0, ErrLabelTooLong
+		}
+		n += 1 + len(l)
+	}
+	if n > maxNameWireLen {
+		return 0, ErrNameTooLong
+	}
+	return n, nil
+}
+
+// packName appends the wire encoding of name to buf. If cmap is non-nil,
+// compression pointers are emitted for suffixes already present in the
+// message, and new suffixes (at offsets representable in 14 bits) are
+// registered. Names are packed in their canonical (lowercase) form.
+func packName(buf []byte, name string, cmap map[string]int) ([]byte, error) {
+	name = CanonicalName(name)
+	if _, err := NameWireLength(name); err != nil {
+		return nil, err
+	}
+	for name != "." {
+		if cmap != nil {
+			if off, ok := cmap[name]; ok {
+				return append(buf, byte(0xC0|off>>8), byte(off)), nil
+			}
+			if len(buf) < 0x3FFF {
+				cmap[name] = len(buf)
+			}
+		}
+		label := name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			label, name = name[:i], name[i+1:]
+		}
+		if name == "" {
+			name = "."
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// unpackName decodes a (possibly compressed) name from msg starting at
+// off. It returns the canonical presentation form and the offset of the
+// first byte after the name in the original (non-pointer) stream.
+func unpackName(msg []byte, off int) (string, int, error) {
+	var b strings.Builder
+	ptrBudget := 32 // defends against pointer loops
+	end := -1       // offset after the name in the outer stream
+	for {
+		if off >= len(msg) {
+			return "", 0, errTruncated
+		}
+		c := int(msg[off])
+		switch {
+		case c == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			if b.Len() == 0 {
+				return ".", end, nil
+			}
+			return b.String(), end, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, errTruncated
+			}
+			ptr := (c&0x3F)<<8 | int(msg[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if ptr >= off {
+				// Pointers must point strictly backwards.
+				return "", 0, ErrBadPointer
+			}
+			ptrBudget--
+			if ptrBudget == 0 {
+				return "", 0, ErrBadPointer
+			}
+			off = ptr
+		case c&0xC0 != 0:
+			return "", 0, errors.New("dnswire: reserved label type")
+		default:
+			if off+1+c > len(msg) {
+				return "", 0, errTruncated
+			}
+			if b.Len()+c+1 > maxNameWireLen*4 {
+				return "", 0, ErrNameTooLong
+			}
+			for _, ch := range msg[off+1 : off+1+c] {
+				if ch >= 'A' && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				b.WriteByte(ch)
+			}
+			b.WriteByte('.')
+			off += 1 + c
+		}
+	}
+}
+
+var errTruncated = errors.New("dnswire: message truncated")

@@ -1,0 +1,247 @@
+// Package dnswire implements the DNS wire protocol (RFC 1035 and
+// successors): domain-name encoding with compression, message packing
+// and unpacking, typed resource-record data for the record types needed
+// by DNSSEC and its automation (DS, DNSKEY, RRSIG, NSEC, NSEC3, CDS,
+// CDNSKEY, CSYNC), EDNS(0), and the canonical forms required by
+// RFC 4034 for signing and verification.
+//
+// The package is self-contained and allocation-conscious; it has no
+// dependencies outside the standard library.
+package dnswire
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type is a DNS resource-record type code (RFC 1035 §3.2.2 and the IANA
+// DNS parameters registry).
+type Type uint16
+
+// Resource-record types used by this library.
+const (
+	TypeNone       Type = 0
+	TypeA          Type = 1
+	TypeNS         Type = 2
+	TypeCNAME      Type = 5
+	TypeSOA        Type = 6
+	TypePTR        Type = 12
+	TypeMX         Type = 15
+	TypeTXT        Type = 16
+	TypeAAAA       Type = 28
+	TypeSRV        Type = 33
+	TypeDS         Type = 43
+	TypeRRSIG      Type = 46
+	TypeNSEC       Type = 47
+	TypeDNSKEY     Type = 48
+	TypeNSEC3      Type = 50
+	TypeNSEC3PARAM Type = 51
+	TypeCDS        Type = 59
+	TypeCDNSKEY    Type = 60
+	TypeCSYNC      Type = 62
+	TypeDNAME      Type = 39
+	TypeTLSA       Type = 52
+	TypeOPT        Type = 41
+	TypeAXFR       Type = 252
+	TypeANY        Type = 255
+	TypeCAA        Type = 257
+)
+
+var typeNames = map[Type]string{
+	TypeA:          "A",
+	TypeNS:         "NS",
+	TypeCNAME:      "CNAME",
+	TypeSOA:        "SOA",
+	TypePTR:        "PTR",
+	TypeMX:         "MX",
+	TypeTXT:        "TXT",
+	TypeAAAA:       "AAAA",
+	TypeSRV:        "SRV",
+	TypeDS:         "DS",
+	TypeRRSIG:      "RRSIG",
+	TypeNSEC:       "NSEC",
+	TypeDNSKEY:     "DNSKEY",
+	TypeNSEC3:      "NSEC3",
+	TypeNSEC3PARAM: "NSEC3PARAM",
+	TypeCDS:        "CDS",
+	TypeCDNSKEY:    "CDNSKEY",
+	TypeCSYNC:      "CSYNC",
+	TypeDNAME:      "DNAME",
+	TypeTLSA:       "TLSA",
+	TypeOPT:        "OPT",
+	TypeAXFR:       "AXFR",
+	TypeANY:        "ANY",
+	TypeCAA:        "CAA",
+}
+
+var typesByName = func() map[string]Type {
+	m := make(map[string]Type, len(typeNames))
+	for t, n := range typeNames {
+		m[n] = t
+	}
+	return m
+}()
+
+// String returns the mnemonic for t, or the RFC 3597 "TYPEnnn" form for
+// types this package has no mnemonic for.
+func (t Type) String() string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return "TYPE" + strconv.Itoa(int(t))
+}
+
+// TypeFromString parses a type mnemonic (e.g. "CDS") or an RFC 3597
+// "TYPEnnn" string.
+func TypeFromString(s string) (Type, error) {
+	if t, ok := typesByName[s]; ok {
+		return t, nil
+	}
+	if len(s) > 4 && s[:4] == "TYPE" {
+		n, err := strconv.Atoi(s[4:])
+		if err != nil || n < 0 || n > 0xFFFF {
+			return 0, fmt.Errorf("dnswire: bad type %q", s)
+		}
+		return Type(n), nil
+	}
+	return 0, fmt.Errorf("dnswire: unknown type %q", s)
+}
+
+// Class is a DNS class code. Only IN is used in practice.
+type Class uint16
+
+// DNS classes.
+const (
+	ClassIN   Class = 1
+	ClassCH   Class = 3
+	ClassNONE Class = 254
+	ClassANY  Class = 255
+)
+
+// String returns the class mnemonic.
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassNONE:
+		return "NONE"
+	case ClassANY:
+		return "ANY"
+	}
+	return "CLASS" + strconv.Itoa(int(c))
+}
+
+// Opcode is a DNS message opcode (RFC 1035 §4.1.1).
+type Opcode uint8
+
+// Opcodes.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	}
+	return "OPCODE" + strconv.Itoa(int(o))
+}
+
+// Rcode is a DNS response code, including EDNS extended codes.
+type Rcode uint16
+
+// Response codes.
+const (
+	RcodeNoError  Rcode = 0
+	RcodeFormErr  Rcode = 1
+	RcodeServFail Rcode = 2
+	RcodeNXDomain Rcode = 3
+	RcodeNotImp   Rcode = 4
+	RcodeRefused  Rcode = 5
+	RcodeNotAuth  Rcode = 9
+	RcodeBadVers  Rcode = 16
+)
+
+// String returns the rcode mnemonic.
+func (r Rcode) String() string {
+	switch r {
+	case RcodeNoError:
+		return "NOERROR"
+	case RcodeFormErr:
+		return "FORMERR"
+	case RcodeServFail:
+		return "SERVFAIL"
+	case RcodeNXDomain:
+		return "NXDOMAIN"
+	case RcodeNotImp:
+		return "NOTIMP"
+	case RcodeRefused:
+		return "REFUSED"
+	case RcodeNotAuth:
+		return "NOTAUTH"
+	case RcodeBadVers:
+		return "BADVERS"
+	}
+	return "RCODE" + strconv.Itoa(int(r))
+}
+
+// DNSSEC algorithm numbers (RFC 8624 and the IANA registry).
+const (
+	AlgDELETE          uint8 = 0 // RFC 8078 §4: request DS deletion via CDS
+	AlgRSASHA1         uint8 = 5
+	AlgRSASHA256       uint8 = 8
+	AlgRSASHA512       uint8 = 10
+	AlgECDSAP256SHA256 uint8 = 13
+	AlgECDSAP384SHA384 uint8 = 14
+	AlgEd25519         uint8 = 15
+)
+
+// AlgorithmName returns the mnemonic for a DNSSEC algorithm number.
+func AlgorithmName(a uint8) string {
+	switch a {
+	case AlgDELETE:
+		return "DELETE"
+	case AlgRSASHA1:
+		return "RSASHA1"
+	case AlgRSASHA256:
+		return "RSASHA256"
+	case AlgRSASHA512:
+		return "RSASHA512"
+	case AlgECDSAP256SHA256:
+		return "ECDSAP256SHA256"
+	case AlgECDSAP384SHA384:
+		return "ECDSAP384SHA384"
+	case AlgEd25519:
+		return "ED25519"
+	}
+	return strconv.Itoa(int(a))
+}
+
+// DS digest types (RFC 4509, RFC 6605).
+const (
+	DigestSHA1   uint8 = 1
+	DigestSHA256 uint8 = 2
+	DigestSHA384 uint8 = 4
+)
+
+// DNSKEY flag bits (RFC 4034 §2.1.1).
+const (
+	DNSKEYFlagZone uint16 = 0x0100 // ZONE bit: key may sign zone data
+	DNSKEYFlagSEP  uint16 = 0x0001 // SEP bit: key-signing key convention
+)
+
+// MaxUDPPayload is the default EDNS advertised UDP payload size used by
+// this library's clients and servers.
+const MaxUDPPayload = 1232
+
+// MaxMessageSize is the maximum DNS message size over TCP.
+const MaxMessageSize = 65535

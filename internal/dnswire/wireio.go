@@ -1,0 +1,151 @@
+package dnswire
+
+// Low-level wire readers and writers shared by message and RDATA codecs.
+
+type builder struct {
+	buf  []byte
+	cmap map[string]int // compression map; nil disables compression
+	err  error
+}
+
+func (b *builder) u8(v uint8) { b.buf = append(b.buf, v) }
+func (b *builder) u16(v uint16) {
+	b.buf = append(b.buf, byte(v>>8), byte(v))
+}
+func (b *builder) u32(v uint32) {
+	b.buf = append(b.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func (b *builder) bytes(v []byte) { b.buf = append(b.buf, v...) }
+
+// name packs a domain name. Compression is only ever applied to owner
+// names and classic RR targets in messages; RDATA of DNSSEC-era types is
+// always packed uncompressed (RFC 3597 §4), which callers arrange by
+// passing compress=false.
+func (b *builder) name(n string, compress bool) {
+	if b.err != nil {
+		return
+	}
+	cmap := b.cmap
+	if !compress {
+		cmap = nil
+	}
+	out, err := packName(b.buf, n, cmap)
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.buf = out
+}
+
+type parser struct {
+	msg []byte
+	off int
+}
+
+func (p *parser) remaining() int { return len(p.msg) - p.off }
+
+func (p *parser) u8() (uint8, error) {
+	if p.off+1 > len(p.msg) {
+		return 0, errTruncated
+	}
+	v := p.msg[p.off]
+	p.off++
+	return v, nil
+}
+
+func (p *parser) u16() (uint16, error) {
+	if p.off+2 > len(p.msg) {
+		return 0, errTruncated
+	}
+	v := uint16(p.msg[p.off])<<8 | uint16(p.msg[p.off+1])
+	p.off += 2
+	return v, nil
+}
+
+func (p *parser) u32() (uint32, error) {
+	if p.off+4 > len(p.msg) {
+		return 0, errTruncated
+	}
+	v := uint32(p.msg[p.off])<<24 | uint32(p.msg[p.off+1])<<16 |
+		uint32(p.msg[p.off+2])<<8 | uint32(p.msg[p.off+3])
+	p.off += 4
+	return v, nil
+}
+
+// take returns the next n bytes as a copy (parsers retain no aliases of
+// the input buffer).
+func (p *parser) take(n int) ([]byte, error) {
+	if n < 0 || p.off+n > len(p.msg) {
+		return nil, errTruncated
+	}
+	out := make([]byte, n)
+	copy(out, p.msg[p.off:p.off+n])
+	p.off += n
+	return out, nil
+}
+
+func (p *parser) name() (string, error) {
+	n, next, err := unpackName(p.msg, p.off)
+	if err != nil {
+		return "", err
+	}
+	p.off = next
+	return n, nil
+}
+
+// packTypeBitmap encodes the RFC 4034 §4.1.2 window-block type bitmap
+// used by NSEC, NSEC3 and CSYNC. Types must be pre-sorted ascending.
+func packTypeBitmap(buf []byte, types []Type) []byte {
+	if len(types) == 0 {
+		return buf
+	}
+	window := -1
+	var bits [32]byte
+	maxOctet := 0
+	flush := func() {
+		if window >= 0 {
+			buf = append(buf, byte(window), byte(maxOctet))
+			buf = append(buf, bits[:maxOctet]...)
+		}
+		bits = [32]byte{}
+		maxOctet = 0
+	}
+	for _, t := range types {
+		w := int(t >> 8)
+		if w != window {
+			flush()
+			window = w
+		}
+		lo := int(t & 0xFF)
+		bits[lo/8] |= 0x80 >> (lo % 8)
+		if lo/8+1 > maxOctet {
+			maxOctet = lo/8 + 1
+		}
+	}
+	flush()
+	return buf
+}
+
+// unpackTypeBitmap decodes a window-block type bitmap occupying exactly
+// data.
+func unpackTypeBitmap(data []byte) ([]Type, error) {
+	var types []Type
+	for len(data) > 0 {
+		if len(data) < 2 {
+			return nil, errTruncated
+		}
+		window, n := int(data[0]), int(data[1])
+		if n < 1 || n > 32 || len(data) < 2+n {
+			return nil, errTruncated
+		}
+		for i := 0; i < n; i++ {
+			for bit := 0; bit < 8; bit++ {
+				if data[2+i]&(0x80>>bit) != 0 {
+					types = append(types, Type(window<<8|i*8+bit))
+				}
+			}
+		}
+		data = data[2+n:]
+	}
+	return types, nil
+}

@@ -1,0 +1,109 @@
+package ecosystem
+
+import "fmt"
+
+// Historical population presets. §5 of the paper compares its 2025
+// measurements against Chung et al.'s 2017 campaign: DNSSEC deployment
+// grew from 0.6–1.0 % to 5.5 %, while validation failures fell from
+// over 2 % to 0.2 %. ProfilesForYear interpolates between those anchor
+// points so the adoption trend can be regenerated and scanned with the
+// same pipeline.
+
+// Era summarises one measurement epoch's population shares (fractions
+// of all zones).
+type Era struct {
+	Year         int
+	SecuredShare float64
+	InvalidShare float64
+	IslandShare  float64
+	// CDSShare is the fraction of zones publishing CDS (RFC 7344 was
+	// published in 2014; adoption starts near zero).
+	CDSShare float64
+	// SignalShare is the fraction publishing RFC 9615 signals (zero
+	// before the RFC existed).
+	SignalShare float64
+}
+
+// Anchor eras from the literature: Chung et al. 2017 (§5) and this
+// paper's April-2025 campaign (§4).
+var (
+	Era2017 = Era{Year: 2017, SecuredShare: 0.008, InvalidShare: 0.021, IslandShare: 0.004, CDSShare: 0.0005, SignalShare: 0}
+	Era2025 = Era{Year: 2025, SecuredShare: 0.055, InvalidShare: 0.002, IslandShare: 0.011, CDSShare: 0.037, SignalShare: 0.0043}
+)
+
+// EraForYear linearly interpolates between the anchors (clamping
+// outside the range). Signal share stays zero before RFC 9615's 2024
+// publication.
+func EraForYear(year int) Era {
+	lerp := func(a, b float64) float64 {
+		t := float64(year-Era2017.Year) / float64(Era2025.Year-Era2017.Year)
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		return a + t*(b-a)
+	}
+	e := Era{
+		Year:         year,
+		SecuredShare: lerp(Era2017.SecuredShare, Era2025.SecuredShare),
+		InvalidShare: lerp(Era2017.InvalidShare, Era2025.InvalidShare),
+		IslandShare:  lerp(Era2017.IslandShare, Era2025.IslandShare),
+		CDSShare:     lerp(Era2017.CDSShare, Era2025.CDSShare),
+	}
+	if year >= 2024 {
+		e.SignalShare = lerp(0, Era2025.SignalShare)
+	}
+	return e
+}
+
+// ProfilesForEra builds a compact operator population realising the
+// era's shares over the paper's total population size. It uses three
+// generic operators (a large registrar-style host, a CDS-supporting
+// automation-minded operator, and — from 2024 on — an AB operator), so
+// the same scan/classify pipeline applies to every epoch.
+func ProfilesForEra(e Era) []Profile {
+	total := paperTotalZones
+	secured := int(float64(total) * e.SecuredShare)
+	invalid := int(float64(total) * e.InvalidShare)
+	islands := int(float64(total) * e.IslandShare)
+	cds := int(float64(total) * e.CDSShare)
+	signal := int(float64(total) * e.SignalShare)
+
+	if cds > secured+islands {
+		cds = secured + islands
+	}
+	cdsSecured := min(cds, secured)
+	cdsIslands := min(cds-cdsSecured, islands)
+	if signal > cdsIslands {
+		signal = cdsIslands
+	}
+
+	slugYear := e.Year % 100
+	auto := Profile{
+		Name: "AutomatedDNS", Slug: fmt.Sprintf("au%02d", slugYear),
+		NSHosts: hostsFor("automated-dns.net", 2), HostsPerZone: 2,
+		Total: cdsSecured + cdsIslands,
+		Segments: []Segment{
+			seg(cdsSecured, ZoneSpec{State: StateSecured, CDS: CDSMatch}),
+			seg(cdsIslands-signal, ZoneSpec{State: StateIsland, CDS: CDSMatch}),
+		},
+	}
+	if signal > 0 {
+		auto.SignalOperator = true
+		auto.Segments = append(auto.Segments,
+			seg(signal, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true}))
+	}
+	generic := Profile{
+		Name: "GenericDNS", Slug: fmt.Sprintf("gx%02d", slugYear),
+		NSHosts: hostsFor("generic-hosting.net", 2), HostsPerZone: 2,
+		Total: total - auto.Total,
+		Segments: []Segment{
+			seg(secured-cdsSecured, ZoneSpec{State: StateSecured}),
+			seg(islands-cdsIslands, ZoneSpec{State: StateIsland}),
+			seg(invalid, ZoneSpec{State: StateInvalid, ErrantDS: e.Year < 2020}),
+		},
+	}
+	return []Profile{auto, generic}
+}

@@ -1,0 +1,459 @@
+package ecosystem
+
+import (
+	"fmt"
+	"strings"
+
+	"dnssecboot/internal/server"
+)
+
+// Profile describes one DNS operator's infrastructure and customer
+// population.
+type Profile struct {
+	// Name as used in the paper's tables.
+	Name string
+	// Slug is used in generated zone names and must be unique.
+	Slug string
+	// NSHosts are the operator's nameserver hostnames; each zone is
+	// assigned HostsPerZone of them round-robin.
+	NSHosts      []string
+	HostsPerZone int
+	// AddrsPerHost gives each NS host this many IPv4 addresses
+	// (default 1); V6 adds the same number of IPv6 addresses.
+	AddrsPerHost int
+	V6           bool
+	// Anycast registers the operator's whole prefix so any address in
+	// it answers (the Cloudflare serving model, §3).
+	Anycast bool
+	// Behavior configures the operator's servers.
+	Behavior server.Behavior
+	// Parking serves every query identically instead of hosting zones
+	// (the Afternic model).
+	Parking bool
+	// SignalOperator publishes RFC 9615 signal zones; SignalDeletes
+	// additionally copies deletion requests into them (Cloudflare and
+	// Glauca do, deSEC does not — §4.4).
+	SignalOperator bool
+	SignalDeletes  bool
+	// TLDWeights biases which TLDs this operator's zones register
+	// under; nil uses the default mix.
+	TLDWeights map[string]int
+	// Segments is the customer population. A plain-unsigned remainder
+	// segment is derived automatically when Total exceeds the segment
+	// sum.
+	Segments []Segment
+	// Total is the unscaled domain count (Table 1 column "Domains").
+	Total int
+}
+
+func seg(n int, spec ZoneSpec) Segment { return Segment{N: n, Spec: spec} }
+
+// hostsFor generates simple numbered NS hostnames under a base domain.
+func hostsFor(base string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("ns%d.%s", i+1, base)
+	}
+	return out
+}
+
+// swissWeights biases Swiss operators toward .ch/.li/.swiss, matching
+// the Swiss concentration of Table 2.
+var swissWeights = map[string]int{"ch": 65, "li": 10, "swiss": 10, "com": 15}
+
+// Paper aggregates (§4.1 and Figure 1), unscaled.
+const (
+	paperTotalZones       = 287_600_000
+	paperSecured          = 15_786_327
+	paperInvalid          = 640_048
+	paperIslandNoCDS      = 2_654_912
+	paperIslandOrphanCDS  = 5
+	paperIslandDelete     = 165_010
+	paperIslandBootstrap  = 302_985
+	paperLegacyNoResponse = 7_600_000
+	paperCDSTotal         = 10_500_000
+)
+
+// table1Row is one line of Table 1.
+type table1Row struct {
+	name, slug, nsBase             string
+	total, secured, invalid, isles int
+	// cdsAll publishes CDS on secured and island zones (the pattern
+	// that makes GoDaddy/Cloudflare/Google's Table 2 rows internally
+	// consistent); cdsSecured publishes on secured zones only.
+	cdsAll, cdsSecured bool
+	// errantDS models "invalid" as a stray DS above an unsigned zone
+	// (operators that do not offer DNSSEC, §4.1).
+	errantDS bool
+}
+
+var table1 = []table1Row{
+	{name: "GoDaddy", slug: "gd", nsBase: "domaincontrol.com", total: 56_446_359, secured: 107_550, invalid: 8_550, isles: 3_507, cdsAll: true},
+	// Cloudflare is built separately (cloudflareProfile).
+	{name: "Namecheap", slug: "nc", nsBase: "registrar-servers.com", total: 10_252_586, secured: 126_601, invalid: 5_300, isles: 1_615},
+	{name: "Google Domains", slug: "goo", nsBase: "googledomains.com", total: 9_931_131, secured: 4_496_848, invalid: 109_499, isles: 127_137, cdsSecured: true},
+	{name: "WIX", slug: "wix", nsBase: "wixdns.net", total: 7_318_524, secured: 74_423, invalid: 2_954, isles: 1_151_200, cdsSecured: true},
+	{name: "Hostinger", slug: "hst", nsBase: "dns-parking.com", total: 6_561_661, secured: 5_360, errantDS: true},
+	{name: "AfterNIC", slug: "an", nsBase: "afternic.com", total: 5_360_163, secured: 11_034, errantDS: true},
+	{name: "HiChina", slug: "hc", nsBase: "hichina.com", total: 4_637_997, secured: 9_481, errantDS: true},
+	{name: "AWS", slug: "aws", nsBase: "awsdns.com", total: 3_698_499, secured: 30_005, invalid: 4_345, isles: 10_776},
+	{name: "GName", slug: "gn", nsBase: "gname-dns.com", total: 3_558_801, secured: 1_145, invalid: 1_002, isles: 572, errantDS: true},
+	{name: "NameBright", slug: "nb", nsBase: "namebrightdns.com", total: 3_516_303, secured: 73, invalid: 680, isles: 2, errantDS: true},
+	{name: "SquareSpace", slug: "sqs", nsBase: "squarespacedns.com", total: 2_735_515, secured: 24_278, invalid: 1_023, isles: 174},
+	{name: "OVH", slug: "ovh", nsBase: "ovh.net", total: 2_662_864, secured: 1_169_714, invalid: 2_839, isles: 20_886},
+	{name: "Sedo", slug: "sd", nsBase: "sedoparking.com", total: 2_340_028, secured: 3_645, errantDS: true},
+	{name: "BlueHost", slug: "bh", nsBase: "bluehost.com", total: 1_976_091, secured: 13_188, invalid: 1_136, isles: 1_215},
+	{name: "NameSilo", slug: "nsl", nsBase: "namesilo.com", total: 1_847_474, secured: 1_223, errantDS: true},
+	{name: "Alibaba", slug: "ali", nsBase: "alidns.com", total: 1_570_903, secured: 2_675, invalid: 1_216, isles: 2_032, errantDS: true},
+	{name: "DynaDot", slug: "dd", nsBase: "dynadot.com", total: 1_552_892, secured: 461, errantDS: true},
+	{name: "Wordpress", slug: "wp", nsBase: "wordpress.com", total: 1_549_730, secured: 7_824, invalid: 347, isles: 60},
+	{name: "SiteGround", slug: "sg", nsBase: "siteground.net", total: 1_535_176, secured: 1_302, errantDS: true},
+}
+
+// table2Row is one of the smaller CDS-publishing operators of Table 2
+// (those not already covered by Table 1).
+type table2Row struct {
+	name, slug, nsBase string
+	cds                int
+	pct                float64
+	swiss              bool
+	weights            map[string]int
+}
+
+var table2 = []table2Row{
+	{name: "Simply.com", slug: "sim", nsBase: "simply.com", cds: 218_590, pct: 96.8},
+	{name: "cyon", slug: "cy", nsBase: "cyon.ch", cds: 60_981, pct: 48.1, swiss: true},
+	{name: "Gransy", slug: "gr", nsBase: "gransy.com", cds: 54_690, pct: 98.9},
+	{name: "METANET", slug: "mt", nsBase: "metanet.ch", cds: 54_522, pct: 70.5, swiss: true},
+	{name: "Porkbun", slug: "pb", nsBase: "porkbun.com", cds: 34_989, pct: 3.2},
+	{name: "netim", slug: "nt", nsBase: "netim.net", cds: 34_586, pct: 40.9},
+	{name: "Gandi", slug: "gdi", nsBase: "gandi.net", cds: 34_486, pct: 3.6},
+	{name: "Webland", slug: "wl", nsBase: "webland.ch", cds: 26_416, pct: 76.3, swiss: true},
+	{name: "green.ch", slug: "grn", nsBase: "green.ch", cds: 24_674, pct: 16.8, swiss: true},
+	{name: "WebHouse", slug: "wh", nsBase: "webhouse.sk", cds: 18_766, pct: 60.0, weights: map[string]int{"sk": 80, "com": 20}},
+	{name: "V3 Hosting", slug: "v3", nsBase: "v3hosting.ch", cds: 13_066, pct: 98.3, swiss: true},
+	{name: "HostFactory", slug: "hf", nsBase: "hostfactory.ch", cds: 12_897, pct: 68.4, swiss: true},
+	{name: "INWX", slug: "iw", nsBase: "inwx.de", cds: 11_303, pct: 7.8, weights: map[string]int{"de": 60, "com": 25, "eu": 15}},
+	{name: "OpenProvider", slug: "op", nsBase: "openprovider.nl", cds: 10_312, pct: 79.5, weights: map[string]int{"nl": 60, "com": 25, "eu": 15}},
+	{name: "AWARDIC", slug: "aw", nsBase: "awardic.se", cds: 8_898, pct: 99.9, weights: map[string]int{"se": 70, "nu": 20, "com": 10}},
+	{name: "3DNS", slug: "3d", nsBase: "3dns.box", cds: 8_112, pct: 75.6},
+}
+
+func (r table1Row) profile() Profile {
+	cds := CDSNone
+	if r.cdsAll || r.cdsSecured {
+		cds = CDSMatch
+	}
+	islandCDS := CDSNone
+	if r.cdsAll {
+		islandCDS = CDSMatch
+	}
+	segs := []Segment{
+		seg(r.secured, ZoneSpec{State: StateSecured, CDS: cds}),
+		seg(r.isles, ZoneSpec{State: StateIsland, CDS: islandCDS}),
+	}
+	if r.invalid > 0 {
+		segs = append(segs, seg(r.invalid, ZoneSpec{State: StateInvalid, ErrantDS: r.errantDS}))
+	}
+	return Profile{
+		Name: r.name, Slug: r.slug,
+		NSHosts: hostsFor(r.nsBase, 2), HostsPerZone: 2,
+		Segments: segs, Total: r.total,
+	}
+}
+
+func (r table2Row) profile() Profile {
+	total := int(float64(r.cds) / r.pct * 100)
+	islands := r.cds / 100 // a small bootstrappable tail
+	secured := r.cds - islands
+	w := r.weights
+	if w == nil && r.swiss {
+		w = swissWeights
+	}
+	return Profile{
+		Name: r.name, Slug: r.slug,
+		NSHosts: hostsFor(r.nsBase, 2), HostsPerZone: 2,
+		TLDWeights: w,
+		Segments: []Segment{
+			seg(secured, ZoneSpec{State: StateSecured, CDS: CDSMatch}),
+			seg(islands, ZoneSpec{State: StateIsland, CDS: CDSMatch}),
+		},
+		Total: total,
+	}
+}
+
+// cloudflareProfile encodes §4's Cloudflare observations: the serving
+// model (anycast, RFC 8482), the Table 1 row, the CDS-delete island
+// population, and the Table 3 signal-zone ladder.
+func cloudflareProfile() Profile {
+	names := []string{"asa", "elliot", "kara", "lars", "mira", "noel", "pam", "quinn", "rosa", "sam"}
+	hosts := make([]string, len(names))
+	for i, n := range names {
+		hosts[i] = n + ".ns.cloudflare.com"
+	}
+	return Profile{
+		Name: "Cloudflare", Slug: "cf",
+		NSHosts: hosts, HostsPerZone: 2,
+		AddrsPerHost: 3, V6: true, Anycast: true,
+		Behavior:       server.Behavior{RefuseANY: true},
+		SignalOperator: true, SignalDeletes: true,
+		Total: 27_790_208,
+		Segments: []Segment{
+			// Secured (Table 1: 799 377), nearly all with signal RRs
+			// (Table 3: 799 169 already-secured with signal).
+			seg(799_169, ZoneSpec{State: StateSecured, CDS: CDSMatch, Signal: true}),
+			seg(208, ZoneSpec{State: StateSecured, CDS: CDSMatch}),
+			// Invalid (Table 1: 16 694). 765 of the signal-bearing zones
+			// cannot be bootstrapped due to broken DNSSEC (Table 3),
+			// split per §4.4 into unsigned/invalid/inconsistent/bad-CDS.
+			seg(15_994, ZoneSpec{State: StateInvalid, CDS: CDSMatch}),
+			seg(700, ZoneSpec{State: StateInvalid, CDS: CDSMatch, Signal: true}),
+			seg(40, ZoneSpec{State: StateUnsigned, Signal: true}),
+			seg(20, ZoneSpec{State: StateIsland, CDS: CDSMatch, CDSInconsistent: true, MultiOperator: "deSEC", Signal: true}),
+			seg(5, ZoneSpec{State: StateIsland, CDS: CDSBadSig, Signal: true}),
+			// Islands (Table 1: 432 152): the disable-then-keep-signing
+			// population publishing CDS deletes (§4.2: 160.0 k, of which
+			// 159 503 also appear in signal zones, Table 3).
+			seg(159_503, ZoneSpec{State: StateIsland, CDS: CDSDelete, Signal: true}),
+			seg(497, ZoneSpec{State: StateIsland, CDS: CDSDelete}),
+			// The AB-ready islands (Table 3 potential-to-bootstrap).
+			seg(270_097, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true}),
+			seg(33, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true, SignalAnomaly: SigNSMismatch}),
+			seg(1, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true, SignalAnomaly: SigMissingOneNS}),
+			// Remaining islands carry no CDS.
+			seg(1_996, ZoneSpec{State: StateIsland}),
+		},
+	}
+}
+
+func desecProfile() Profile {
+	return Profile{
+		Name: "deSEC", Slug: "ds",
+		NSHosts:        []string{"ns1.desec.io", "ns2.desec.org"},
+		HostsPerZone:   2,
+		SignalOperator: true,
+		Total:          7_314,
+		Segments: []Segment{
+			seg(5_439, ZoneSpec{State: StateSecured, CDS: CDSMatch, Signal: true}),
+			seg(20, ZoneSpec{State: StateInvalid, CDS: CDSMatch, Signal: true}),
+			seg(1_630, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true}),
+			// 154 missing-under-one-NS (24 spurious NSes, the rest
+			// transient failures during the scan, §4.4).
+			seg(154, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true, SignalAnomaly: SigMissingOneNS}),
+			// 70 transient signature corruptions observed mid-scan.
+			seg(70, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true, SignalAnomaly: SigBadSig}),
+			// copacabanasomostudestino.com.bo: a typo NS pointing into a
+			// parking service that fakes a zone cut at every level.
+			seg(1, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true, SignalAnomaly: SigZoneCut, ParkingNS: true}),
+		},
+	}
+}
+
+func glaucaProfile() Profile {
+	return Profile{
+		Name: "Glauca Digital", Slug: "gl",
+		NSHosts:        []string{"ns1.glauca.digital", "ns2.glauca.digital"},
+		HostsPerZone:   2,
+		SignalOperator: true, SignalDeletes: true,
+		Total: 290,
+		Segments: []Segment{
+			seg(233, ZoneSpec{State: StateSecured, CDS: CDSMatch, Signal: true}),
+			seg(7, ZoneSpec{State: StateIsland, CDS: CDSDelete, Signal: true}),
+			seg(1, ZoneSpec{State: StateInvalid, CDS: CDSMatch, Signal: true}),
+			seg(48, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true}),
+			// The customer who hand-added a spurious NS record (§4.4).
+			seg(1, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true, SignalAnomaly: SigMissingOneNS}),
+		},
+	}
+}
+
+// signalMiscProfile models Table 3's "Others" column: one-off test
+// zones on assorted infrastructure.
+func signalMiscProfile() Profile {
+	return Profile{
+		Name: "SignalMisc", Slug: "sm",
+		NSHosts:        hostsFor("signal-misc.net", 2),
+		HostsPerZone:   2,
+		SignalOperator: true, SignalDeletes: true,
+		Total: 279,
+		Segments: []Segment{
+			seg(113, ZoneSpec{State: StateSecured, CDS: CDSMatch, Signal: true}),
+			seg(20, ZoneSpec{State: StateIsland, CDS: CDSDelete, Signal: true}),
+			seg(3, ZoneSpec{State: StateUnsigned, Signal: true}),
+			seg(66, ZoneSpec{State: StateInvalid, CDS: CDSMatch, Signal: true}),
+			seg(12, ZoneSpec{State: StateIsland, CDS: CDSMatch, CDSInconsistent: true, MultiOperator: "PartnerDNS", Signal: true}),
+			seg(42, ZoneSpec{State: StateIsland, CDS: CDSBadSig, Signal: true}),
+			seg(5, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true}),
+			seg(17, ZoneSpec{State: StateIsland, CDS: CDSMatch, MultiOperator: "PartnerDNS", Signal: true, SignalAnomaly: SigMissingOneNS}),
+			// The forgotten personal test zone with expired signal
+			// signatures (§4.4).
+			seg(1, ZoneSpec{State: StateIsland, CDS: CDSMatch, Signal: true, SignalAnomaly: SigExpiredSig}),
+		},
+	}
+}
+
+// islandMiscProfile carries §4.2's CDS-correctness tail: inconsistent
+// multi-operator islands, orphan CDS, bad CDS signatures.
+func islandMiscProfile() Profile {
+	return Profile{
+		Name: "MultiSigner", Slug: "ms",
+		NSHosts:      hostsFor("multisigner.net", 2),
+		HostsPerZone: 2,
+		Total:        5_841,
+		Segments: []Segment{
+			seg(4_637, ZoneSpec{State: StateIsland, CDS: CDSMatch, CDSInconsistent: true, MultiOperator: "PartnerDNS"}),
+			seg(696, ZoneSpec{State: StateIsland, CDS: CDSMatch, CDSInconsistent: true}),
+			seg(5, ZoneSpec{State: StateIsland, CDS: CDSOrphan}),
+			seg(3, ZoneSpec{State: StateIsland, CDS: CDSBadSig}),
+			// A correctly-coordinated RFC 8901 multi-signer tail: both
+			// operators serve identical CDS, so these remain
+			// bootstrap-eligible ("care must be taken to coordinate",
+			// §4.2 — these are the ones that took care).
+			seg(500, ZoneSpec{State: StateIsland, CDS: CDSMatch, MultiOperator: "PartnerDNS"}),
+		},
+	}
+}
+
+// canalProfile models Canal Dominios, the operator behind most CDS
+// records in unsigned zones (§4.2).
+func canalProfile() Profile {
+	return Profile{
+		Name: "Canal Dominios", Slug: "cn",
+		NSHosts:      hostsFor("canaldominios.example-isp.com", 2),
+		HostsPerZone: 2,
+		Total:        3_000,
+		Segments: []Segment{
+			seg(2_469, ZoneSpec{State: StateUnsigned, CDS: CDSOrphan}),
+			seg(385, ZoneSpec{State: StateUnsigned, CDS: CDSOrphan}),
+			seg(16, ZoneSpec{State: StateUnsigned, CDS: CDSDelete}),
+		},
+	}
+}
+
+// legacyProfile models the 7.6 M domains behind nameservers that fail
+// on post-2003 query types (§4.2, "Lack of support for CDS").
+func legacyProfile() Profile {
+	return Profile{
+		Name: "LegacyDNS", Slug: "lg",
+		NSHosts:      hostsFor("ancient-dns.net", 2),
+		HostsPerZone: 2,
+		Behavior:     server.Behavior{LegacyUnknownTypes: true},
+		Total:        paperLegacyNoResponse,
+		Segments:     nil, // entirely plain unsigned
+	}
+}
+
+// partnerProfile is the secondary operator used by multi-operator
+// zones; it hosts variant copies with diverging CDS content.
+func partnerProfile() Profile {
+	return Profile{
+		Name: "PartnerDNS", Slug: "pd",
+		NSHosts:      hostsFor("partnerdns.org", 2),
+		HostsPerZone: 2,
+		Total:        0, // hosts no zones of its own
+	}
+}
+
+// Profiles returns every operator profile plus the computed "OtherDNS"
+// remainder that tops the population up to the paper's §4.1 aggregates.
+func Profiles() []Profile {
+	ps := []Profile{cloudflareProfile(), desecProfile(), glaucaProfile(),
+		signalMiscProfile(), islandMiscProfile(), canalProfile(),
+		legacyProfile(), partnerProfile()}
+	for _, r := range table1 {
+		ps = append(ps, r.profile())
+	}
+	for _, r := range table2 {
+		ps = append(ps, r.profile())
+	}
+	ps = append(ps, otherProfile(ps))
+	return ps
+}
+
+// otherProfile computes the residual operator so that category totals
+// match the paper's aggregates.
+func otherProfile(ps []Profile) Profile {
+	var secured, invalid, islNone, islMatch, islDelete, total int
+	for _, p := range ps {
+		total += p.Total
+		for _, s := range p.Segments {
+			switch s.Spec.State {
+			case StateSecured:
+				secured += s.N
+			case StateInvalid:
+				invalid += s.N
+			case StateIsland:
+				switch s.Spec.CDS {
+				case CDSNone:
+					islNone += s.N
+				case CDSDelete:
+					islDelete += s.N
+				default:
+					islMatch += s.N
+				}
+			}
+		}
+	}
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	// Split the residual secured population into CDS publishers and
+	// non-publishers so the Table 2 CDS aggregate is approximated.
+	var cdsSoFar int
+	for _, p := range ps {
+		for _, s := range p.Segments {
+			if s.Spec.CDS == CDSMatch || s.Spec.CDS == CDSDelete || s.Spec.CDS == CDSOrphan || s.Spec.CDS == CDSBadSig {
+				cdsSoFar += s.N
+			}
+		}
+	}
+	securedRest := clamp(paperSecured - secured)
+	cdsRest := clamp(paperCDSTotal - cdsSoFar)
+	securedCDS := min(securedRest, cdsRest)
+	return Profile{
+		Name: "OtherDNS", Slug: "ot",
+		NSHosts:      hostsFor("various-hosting.net", 4),
+		HostsPerZone: 2,
+		Total:        clamp(paperTotalZones - total),
+		Segments: []Segment{
+			// 3 289 zones keep their deletion request published while
+			// staying signed — the TLD or registrar ignored it (§4.2).
+			seg(3_289, ZoneSpec{State: StateSecured, CDS: CDSDelete}),
+			seg(securedCDS, ZoneSpec{State: StateSecured, CDS: CDSMatch}),
+			seg(clamp(securedRest-securedCDS-3_289), ZoneSpec{State: StateSecured}),
+			seg(clamp(paperInvalid-invalid), ZoneSpec{State: StateInvalid}),
+			seg(clamp(paperIslandNoCDS-islNone), ZoneSpec{State: StateIsland}),
+			seg(clamp(paperIslandBootstrap+paperIslandOrphanCDS-islMatch), ZoneSpec{State: StateIsland, CDS: CDSMatch}),
+			seg(clamp(paperIslandDelete-islDelete), ZoneSpec{State: StateIsland, CDS: CDSDelete}),
+		},
+	}
+}
+
+// slugCheck panics at init when two profiles collide; the generator
+// relies on unique slugs for name construction.
+func init() {
+	seen := map[string]string{}
+	for _, p := range Profiles() {
+		if other, dup := seen[p.Slug]; dup {
+			panic(fmt.Sprintf("ecosystem: slug %q shared by %s and %s", p.Slug, other, p.Name))
+		}
+		seen[p.Slug] = p.Name
+	}
+}
+
+// baseOf returns the registrable base domain of an NS hostname (e.g.
+// ns1.desec.io → desec.io), used to group hosts into operator base
+// zones.
+func baseOf(host string) string {
+	host = strings.TrimSuffix(host, ".")
+	parts := strings.Split(host, ".")
+	if len(parts) < 2 {
+		return host + "."
+	}
+	// Two rightmost labels form the registrable base for every base
+	// domain the profiles use (all direct-under-TLD).
+	return strings.Join(parts[len(parts)-2:], ".") + "."
+}

@@ -1,0 +1,73 @@
+package operator
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestOperatorOfHost(t *testing.T) {
+	id := Default()
+	cases := []struct{ host, want string }{
+		{"ns01.domaincontrol.com.", "GoDaddy"},
+		{"asa.ns.cloudflare.com.", "Cloudflare"},
+		{"elliot.NS.CLOUDFLARE.COM", "Cloudflare"},
+		{"ns1.desec.io.", "deSEC"},
+		{"ns2.desec.org.", "deSEC"},
+		{"ns1.seized.gov.", "Cloudflare"}, // white label
+		{"ns1.namefind.com.", "AfterNIC"},
+		{"ns1.example.org.", Unknown},
+	}
+	for _, c := range cases {
+		if got := id.OperatorOfHost(c.host); got != c.want {
+			t.Errorf("OperatorOfHost(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestIdentifySingleOperator(t *testing.T) {
+	id := Default()
+	res := id.Identify([]string{"ns1.desec.io.", "ns2.desec.org."})
+	if res.Operator != "deSEC" || res.MultiOperator {
+		t.Errorf("Identify = %+v", res)
+	}
+}
+
+func TestIdentifyMultiOperator(t *testing.T) {
+	id := Default()
+	res := id.Identify([]string{"asa.ns.cloudflare.com.", "ns1.desec.io."})
+	if !res.MultiOperator {
+		t.Errorf("multi-operator not flagged: %+v", res)
+	}
+	want := []string{"Cloudflare", "deSEC"}
+	if !reflect.DeepEqual(res.Operators, want) {
+		t.Errorf("Operators = %v", res.Operators)
+	}
+}
+
+func TestIdentifyUnknown(t *testing.T) {
+	id := Default()
+	res := id.Identify([]string{"ns1.custom-setup.example.", "ns2.custom-setup.example."})
+	if res.Operator != Unknown || res.MultiOperator {
+		t.Errorf("Identify = %+v", res)
+	}
+}
+
+func TestIdentifyPartiallyKnown(t *testing.T) {
+	id := Default()
+	res := id.Identify([]string{"ns1.desec.io.", "ns9.mystery.example."})
+	if res.Operator != "deSEC" || res.MultiOperator {
+		t.Errorf("partially-known Identify = %+v", res)
+	}
+}
+
+func TestLongestSuffixWins(t *testing.T) {
+	id := New()
+	id.AddSuffix("example.com.", "Broad")
+	id.AddSuffix("white.example.com.", "Label")
+	if got := id.OperatorOfHost("ns1.white.example.com."); got != "Label" {
+		t.Errorf("longest suffix = %q", got)
+	}
+	if got := id.OperatorOfHost("ns1.other.example.com."); got != "Broad" {
+		t.Errorf("fallback suffix = %q", got)
+	}
+}

@@ -1,0 +1,93 @@
+package psl
+
+import "testing"
+
+func TestPublicSuffixBasic(t *testing.T) {
+	l := Default()
+	cases := []struct{ name, want string }{
+		{"example.com.", "com."},
+		{"www.example.com.", "com."},
+		{"example.co.uk.", "co.uk."},
+		{"deep.example.co.uk.", "co.uk."},
+		{"example.ch.", "ch."},
+		{"something.unknowntld.", "unknowntld."}, // implicit * rule
+	}
+	for _, c := range cases {
+		if got := l.PublicSuffix(c.name); got != c.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRegistrableDomain(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		name string
+		want string
+		ok   bool
+	}{
+		{"example.com.", "example.com.", true},
+		{"www.example.com.", "example.com.", true},
+		{"example.co.uk.", "example.co.uk.", true},
+		{"a.b.example.co.uk.", "example.co.uk.", true},
+		{"com.", "", false},
+		{"co.uk.", "", false},
+		{"uk.", "", false},
+	}
+	for _, c := range cases {
+		got, ok := l.RegistrableDomain(c.name)
+		if got != c.want || ok != c.ok {
+			t.Errorf("RegistrableDomain(%q) = %q,%v want %q,%v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIsRegistrable(t *testing.T) {
+	l := Default()
+	if !l.IsRegistrable("example.com.") {
+		t.Error("example.com. not registrable")
+	}
+	if l.IsRegistrable("www.example.com.") {
+		t.Error("www.example.com. reported registrable")
+	}
+	if l.IsRegistrable("co.uk.") {
+		t.Error("co.uk. reported registrable")
+	}
+}
+
+func TestWildcardAndExceptionRules(t *testing.T) {
+	l, err := ParseString(`
+// comment line
+ck
+*.ck
+!www.ck
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.PublicSuffix("example.ck."); got != "example.ck." {
+		t.Errorf("wildcard suffix = %q", got)
+	}
+	if got, ok := l.RegistrableDomain("foo.example.ck."); !ok || got != "foo.example.ck." {
+		t.Errorf("wildcard registrable = %q,%v", got, ok)
+	}
+	// Exception: www.ck is registrable even though *.ck is a suffix.
+	if got, ok := l.RegistrableDomain("www.ck."); !ok || got != "www.ck." {
+		t.Errorf("exception registrable = %q,%v", got, ok)
+	}
+}
+
+func TestParseSkipsComments(t *testing.T) {
+	l, err := ParseString("// only a comment\n\ncom\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsPublicSuffix("com.") {
+		t.Error("com. not parsed")
+	}
+	// Under the implicit "*" rule every bare label is a suffix, but the
+	// comment must not have produced a multi-label rule.
+	if got := l.PublicSuffix("only.a.comment."); got != "comment." {
+		t.Errorf("comment line leaked into rules: suffix = %q", got)
+	}
+}

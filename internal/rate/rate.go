@@ -1,0 +1,142 @@
+// Package rate implements a token-bucket rate limiter used by the
+// scanner to cap per-nameserver query rates, mirroring the paper's
+// 50-queries-per-second-per-NS scan policy (§3).
+package rate
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Limiter is a token bucket: capacity burst, refilled at rate tokens
+// per second. The zero value is unusable; use NewLimiter.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	sleep  func(context.Context, time.Duration) error
+}
+
+// NewLimiter returns a limiter allowing ratePerSec events per second
+// with the given burst. ratePerSec <= 0 means unlimited.
+func NewLimiter(ratePerSec float64, burst int) *Limiter {
+	l := &Limiter{
+		rate:  ratePerSec,
+		burst: float64(burst),
+		now:   time.Now,
+		sleep: sleepCtx,
+	}
+	l.tokens = l.burst
+	l.last = l.now()
+	return l
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// SetClock injects a fake clock; for tests.
+func (l *Limiter) SetClock(now func() time.Time, sleep func(context.Context, time.Duration) error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+	l.sleep = sleep
+	l.last = now()
+}
+
+func (l *Limiter) refillLocked() {
+	t := l.now()
+	elapsed := t.Sub(l.last).Seconds()
+	if elapsed > 0 {
+		l.tokens += elapsed * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.last = t
+	}
+}
+
+// Allow reports whether one event may proceed now, consuming a token if
+// so.
+func (l *Limiter) Allow() bool {
+	if l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked()
+	if l.tokens >= 1 {
+		l.tokens--
+		return true
+	}
+	return false
+}
+
+// Wait blocks until a token is available or ctx is done.
+func (l *Limiter) Wait(ctx context.Context) error {
+	if l.rate <= 0 {
+		return ctx.Err()
+	}
+	for {
+		l.mu.Lock()
+		l.refillLocked()
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return nil
+		}
+		need := (1 - l.tokens) / l.rate
+		sleep := l.sleep
+		l.mu.Unlock()
+		if err := sleep(ctx, time.Duration(need*float64(time.Second))); err != nil {
+			return err
+		}
+	}
+}
+
+// PerKey hands out one limiter per key (e.g. per nameserver address),
+// creating them on demand.
+type PerKey struct {
+	mu      sync.Mutex
+	make    func() *Limiter
+	limiter map[string]*Limiter
+}
+
+// NewPerKey returns a PerKey whose limiters allow ratePerSec with the
+// given burst.
+func NewPerKey(ratePerSec float64, burst int) *PerKey {
+	return &PerKey{
+		make:    func() *Limiter { return NewLimiter(ratePerSec, burst) },
+		limiter: make(map[string]*Limiter),
+	}
+}
+
+// Get returns the limiter for key, creating it if needed.
+func (p *PerKey) Get(key string) *Limiter {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l, ok := p.limiter[key]
+	if !ok {
+		l = p.make()
+		p.limiter[key] = l
+	}
+	return l
+}
+
+// Len returns the number of distinct keys seen.
+func (p *PerKey) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.limiter)
+}

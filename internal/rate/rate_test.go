@@ -1,0 +1,119 @@
+package rate
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+type fakeClock struct {
+	t time.Time
+}
+
+func (f *fakeClock) now() time.Time { return f.t }
+func (f *fakeClock) sleep(_ context.Context, d time.Duration) error {
+	f.t = f.t.Add(d)
+	return nil
+}
+
+func TestAllowBurstAndRefill(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(10, 5)
+	l.SetClock(fc.now, fc.sleep)
+	for i := 0; i < 5; i++ {
+		if !l.Allow() {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if l.Allow() {
+		t.Fatal("6th immediate token allowed")
+	}
+	fc.t = fc.t.Add(100 * time.Millisecond) // refills one token at 10/s
+	if !l.Allow() {
+		t.Fatal("token after refill denied")
+	}
+	if l.Allow() {
+		t.Fatal("second token after single refill allowed")
+	}
+}
+
+func TestRefillCapsAtBurst(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(1000, 3)
+	l.SetClock(fc.now, fc.sleep)
+	fc.t = fc.t.Add(time.Hour)
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if l.Allow() {
+			allowed++
+		}
+	}
+	if allowed != 3 {
+		t.Errorf("allowed %d after long idle, want burst 3", allowed)
+	}
+}
+
+func TestWaitAdvancesClock(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(10, 1)
+	l.SetClock(fc.now, fc.sleep)
+	ctx := context.Background()
+	start := fc.t
+	for i := 0; i < 4; i++ {
+		if err := l.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := fc.t.Sub(start)
+	// 1 burst token + 3 waits at 10/s ≈ 300ms of simulated waiting.
+	if elapsed < 250*time.Millisecond || elapsed > 400*time.Millisecond {
+		t.Errorf("simulated elapsed = %v", elapsed)
+	}
+}
+
+func TestWaitCancelled(t *testing.T) {
+	l := NewLimiter(0.001, 1)
+	if !l.Allow() {
+		t.Fatal("first token denied")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.Wait(ctx); err == nil {
+		t.Error("Wait on cancelled context returned nil")
+	}
+}
+
+func TestUnlimited(t *testing.T) {
+	l := NewLimiter(0, 0)
+	for i := 0; i < 1000; i++ {
+		if !l.Allow() {
+			t.Fatal("unlimited limiter denied")
+		}
+	}
+	if err := l.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerKeyIsolation(t *testing.T) {
+	p := NewPerKey(10, 1)
+	a, b := p.Get("192.0.2.1"), p.Get("192.0.2.2")
+	if a == b {
+		t.Fatal("distinct keys share a limiter")
+	}
+	if p.Get("192.0.2.1") != a {
+		t.Fatal("same key returned a different limiter")
+	}
+	if !a.Allow() {
+		t.Fatal("fresh limiter denied")
+	}
+	if a.Allow() {
+		t.Fatal("burst-1 limiter allowed twice")
+	}
+	if !b.Allow() {
+		t.Fatal("second key's limiter affected by first")
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dnssecboot/internal/classify"
+	"dnssecboot/internal/operator"
+)
+
+func res(zone, op string, status classify.Status, bucket classify.Potential) *classify.Result {
+	return &classify.Result{
+		Zone:     zone,
+		Status:   status,
+		Bucket:   bucket,
+		Operator: operator.Result{Operator: op},
+		Queries:  10,
+	}
+}
+
+func sampleResults() []*classify.Result {
+	out := []*classify.Result{
+		res("a.com.", "GoDaddy", classify.StatusUnsigned, classify.PotentialNone),
+		res("b.com.", "GoDaddy", classify.StatusSecured, classify.PotentialAlreadySecured),
+		res("c.com.", "Cloudflare", classify.StatusIsland, classify.PotentialBootstrap),
+		res("d.com.", "Cloudflare", classify.StatusInvalid, classify.PotentialInvalidDNSSEC),
+		res("e.com.", operator.Unknown, classify.StatusUnsigned, classify.PotentialNone),
+		{Zone: "f.com.", Status: classify.StatusUnresolved},
+	}
+	// CDS flags on selected results.
+	out[1].CDS = classify.CDSInfo{Present: true, Consistent: true, MatchesDNSKEY: true, SigValid: true}
+	out[2].CDS = classify.CDSInfo{Present: true, Consistent: true, MatchesDNSKEY: true, SigValid: true}
+	out[2].Signal = classify.SignalInfo{Probed: true, HasSignal: true, Potential: true, Correct: true}
+	out[3].Signal = classify.SignalInfo{Probed: true, HasSignal: true, InvalidDNSSEC: true}
+	return out
+}
+
+func TestBuildAggregates(t *testing.T) {
+	a := Build(sampleResults())
+	if a.Total != 6 || a.Unresolved != 1 || a.Resolved() != 5 {
+		t.Errorf("totals = %d/%d", a.Total, a.Unresolved)
+	}
+	if a.ByStatus[classify.StatusUnsigned] != 2 || a.ByStatus[classify.StatusSecured] != 1 {
+		t.Errorf("byStatus = %v", a.ByStatus)
+	}
+	if a.CDSPresent != 2 {
+		t.Errorf("CDSPresent = %d", a.CDSPresent)
+	}
+	gd := a.Operators["GoDaddy"]
+	if gd == nil || gd.Domains != 2 || gd.Secured != 1 || gd.CDS != 1 {
+		t.Errorf("GoDaddy stats = %+v", gd)
+	}
+	cf := a.Operators["Cloudflare"]
+	if cf.WithSignal != 2 || cf.Potential != 1 || cf.Correct != 1 || cf.InvalidDNSSEC != 1 || cf.CannotBootstrap != 1 {
+		t.Errorf("Cloudflare ladder = %+v", cf)
+	}
+	if a.Queries != 50 {
+		t.Errorf("queries = %d", a.Queries)
+	}
+}
+
+func TestTableRenderings(t *testing.T) {
+	a := Build(sampleResults())
+	t1 := a.Table1(5)
+	if !strings.Contains(t1, "GoDaddy") || !strings.Contains(t1, "Cloudflare") {
+		t.Errorf("table1 missing operators:\n%s", t1)
+	}
+	if strings.Contains(t1, operator.Unknown) {
+		t.Error("table1 includes Unknown")
+	}
+	t2 := a.Table2(5)
+	if !strings.Contains(t2, "GoDaddy") {
+		t.Errorf("table2:\n%s", t2)
+	}
+	t3 := a.Table3()
+	for _, col := range []string{"Cloudflare", "deSEC", "Glauca Digital", "Others", "Total"} {
+		if !strings.Contains(t3, col) {
+			t.Errorf("table3 missing column %s", col)
+		}
+	}
+	f1 := a.Figure1()
+	if !strings.Contains(f1, "Possible to bootstrap") {
+		t.Errorf("figure1:\n%s", f1)
+	}
+	h := a.Headline()
+	if !strings.Contains(h, "resolved 5 zones") {
+		t.Errorf("headline: %s", h)
+	}
+}
+
+func TestTable1SortsByDomains(t *testing.T) {
+	rs := sampleResults()
+	// Add more Cloudflare zones so it outranks GoDaddy.
+	for i := 0; i < 5; i++ {
+		rs = append(rs, res("x.com.", "Cloudflare", classify.StatusUnsigned, classify.PotentialNone))
+	}
+	a := Build(rs)
+	t1 := a.Table1(5)
+	cfIdx := strings.Index(t1, "Cloudflare")
+	gdIdx := strings.Index(t1, "GoDaddy")
+	if cfIdx < 0 || gdIdx < 0 || cfIdx > gdIdx {
+		t.Errorf("ordering wrong:\n%s", t1)
+	}
+}
+
+func TestQueryStats(t *testing.T) {
+	a := Build(sampleResults())
+	qs := a.QueryStats()
+	if !strings.Contains(qs, "50 DNS queries") {
+		t.Errorf("QueryStats = %s", qs)
+	}
+	empty := Build(nil)
+	if !strings.Contains(empty.QueryStats(), "0 DNS queries") {
+		t.Error("empty QueryStats broken")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := Build(sampleResults())
+	for _, artefact := range []string{"table1", "table2", "table3", "figure1"} {
+		var buf strings.Builder
+		if err := a.WriteCSV(&buf, artefact); err != nil {
+			t.Fatalf("%s: %v", artefact, err)
+		}
+		out := buf.String()
+		lines := strings.Count(out, "\n")
+		if lines < 2 {
+			t.Errorf("%s CSV has %d lines:\n%s", artefact, lines, out)
+		}
+	}
+	var buf strings.Builder
+	if err := a.WriteCSV(&buf, "nope"); err == nil {
+		t.Error("unknown artefact accepted")
+	}
+	// figure1 rows must carry the bucket counts.
+	buf.Reset()
+	if err := a.WriteCSV(&buf, "figure1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "possible to bootstrap,1") {
+		t.Errorf("figure1 CSV:\n%s", buf.String())
+	}
+}

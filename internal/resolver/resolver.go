@@ -1,0 +1,479 @@
+// Package resolver implements an iterative DNS resolver in the style
+// the YoDNS scanner needs: it primes from root hints, follows
+// referrals, resolves nameserver addresses (glue or out-of-bailiwick),
+// and exposes the delegation information (parent-side NS and DS RRsets)
+// for any zone. All traffic flows through a transport.Exchanger, so the
+// same code runs against the in-memory simulation or real servers.
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/rate"
+	"dnssecboot/internal/transport"
+)
+
+// Errors reported by resolution.
+var (
+	ErrNXDomain    = errors.New("resolver: name does not exist")
+	ErrNoServers   = errors.New("resolver: no reachable nameservers")
+	ErrLoop        = errors.New("resolver: referral or alias loop")
+	ErrLameReferal = errors.New("resolver: lame delegation")
+)
+
+// Resolver is an iterative resolver. Fields must be set before first
+// use and not changed afterwards.
+type Resolver struct {
+	// Net carries the queries.
+	Net transport.Exchanger
+	// Roots are the root server addresses (priming hints).
+	Roots []netip.AddrPort
+	// Limits, when non-nil, rate-limits queries per server address.
+	Limits *rate.PerKey
+	// MaxDepth bounds referral chains; zero means 16.
+	MaxDepth int
+	// DefaultPort is used when building server addresses from NS
+	// address records (zero means 53). Setting it lets whole worlds run
+	// on unprivileged loopback ports.
+	DefaultPort uint16
+
+	queries atomic.Int64
+
+	mu        sync.RWMutex
+	zoneCache map[string][]netip.AddrPort // zone apex -> authoritative addrs
+	addrCache map[string][]netip.Addr     // hostname -> addresses
+	inflight  map[string]bool             // hostnames being resolved (cycle guard)
+}
+
+// Queries returns the number of DNS queries issued so far.
+func (r *Resolver) Queries() int64 { return r.queries.Load() }
+
+type queryCounterKey struct{}
+
+// WithQueryCounter returns a context whose queries through this
+// resolver are additionally counted into the returned counter. Used by
+// the scanner for accurate per-zone accounting under concurrency.
+func WithQueryCounter(ctx context.Context) (context.Context, *atomic.Int64) {
+	c := new(atomic.Int64)
+	return context.WithValue(ctx, queryCounterKey{}, c), c
+}
+
+// Port returns the server port used for NS-derived addresses.
+func (r *Resolver) Port() uint16 {
+	if r.DefaultPort == 0 {
+		return 53
+	}
+	return r.DefaultPort
+}
+
+func (r *Resolver) maxDepth() int {
+	if r.MaxDepth <= 0 {
+		return 16
+	}
+	return r.MaxDepth
+}
+
+// Exchange sends one query with EDNS+DO to server, applying rate limits
+// and counting.
+func (r *Resolver) Exchange(ctx context.Context, server netip.AddrPort, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	if r.Limits != nil {
+		if err := r.Limits.Get(server.Addr().String()).Wait(ctx); err != nil {
+			return nil, err
+		}
+	}
+	q := dnswire.NewQuery(nextID(), name, qtype)
+	q.SetEDNS(dnswire.EDNS{UDPSize: dnswire.MaxUDPPayload, DO: true})
+	r.queries.Add(1)
+	if c, ok := ctx.Value(queryCounterKey{}).(*atomic.Int64); ok {
+		c.Add(1)
+	}
+	return r.Net.Exchange(ctx, server, q)
+}
+
+var idCounter atomic.Uint32
+
+func nextID() uint16 {
+	return uint16(idCounter.Add(1))
+}
+
+// Delegation describes the parent side of a zone cut plus the resolved
+// server addresses for the child zone.
+type Delegation struct {
+	// Zone is the child apex.
+	Zone string
+	// ParentNS is the delegation NS RRset as served by the parent.
+	ParentNS []dnswire.RR
+	// DS is the DS RRset at the parent (empty for insecure
+	// delegations), and DSSigs its RRSIGs.
+	DS     []dnswire.RR
+	DSSigs []dnswire.RR
+	// Glue holds address records from the referral's additional
+	// section.
+	Glue []dnswire.RR
+	// ParentZone is the apex of the delegating zone.
+	ParentZone string
+	// ParentServers are the addresses of the parent zone's servers
+	// (useful for re-querying DS).
+	ParentServers []netip.AddrPort
+}
+
+// NSHosts returns the delegation's nameserver hostnames.
+func (d *Delegation) NSHosts() []string {
+	var out []string
+	for _, rr := range d.ParentNS {
+		out = append(out, rr.Data.(*dnswire.NS).Target)
+	}
+	return out
+}
+
+// Delegation walks from the root to the parent of zoneName and returns
+// the delegation data. It fails with ErrNXDomain if the parent denies
+// the name.
+func (r *Resolver) Delegation(ctx context.Context, zoneName string) (*Delegation, error) {
+	zoneName = dnswire.CanonicalName(zoneName)
+	servers := r.Roots
+	currentZone := "."
+	for depth := 0; depth < r.maxDepth(); depth++ {
+		resp, server, err := r.queryAny(ctx, servers, zoneName, dnswire.TypeNS)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.Rcode == dnswire.RcodeNXDomain:
+			return nil, fmt.Errorf("%w: %s (parent %s)", ErrNXDomain, zoneName, currentZone)
+		case resp.Rcode != dnswire.RcodeNoError:
+			return nil, fmt.Errorf("resolver: %s from %s for %s", resp.Rcode, server, zoneName)
+		}
+
+		if cut, nsSet := referralCut(resp); cut != "" {
+			d := &Delegation{
+				Zone:          cut,
+				ParentNS:      nsSet,
+				ParentZone:    currentZone,
+				ParentServers: servers,
+			}
+			for _, rr := range resp.Authority {
+				switch rr.Type() {
+				case dnswire.TypeDS:
+					if dnswire.CanonicalName(rr.Name) == cut {
+						d.DS = append(d.DS, rr)
+					}
+				case dnswire.TypeRRSIG:
+					sig := rr.Data.(*dnswire.RRSIG)
+					if sig.TypeCovered == dnswire.TypeDS && dnswire.CanonicalName(rr.Name) == cut {
+						d.DSSigs = append(d.DSSigs, rr)
+					}
+				}
+			}
+			for _, rr := range resp.Additional {
+				if rr.Type() == dnswire.TypeA || rr.Type() == dnswire.TypeAAAA {
+					d.Glue = append(d.Glue, rr)
+				}
+			}
+			if cut == zoneName {
+				return d, nil
+			}
+			// Descend.
+			next, err := r.serversForDelegation(ctx, d)
+			if err != nil {
+				return nil, err
+			}
+			servers = next
+			currentZone = cut
+			r.cacheZone(cut, next)
+			continue
+		}
+
+		if resp.Authoritative {
+			// The server answered authoritatively: either it hosts both
+			// parent and child (no referral visible), or zoneName is not
+			// a zone cut at all. Synthesize from the answer's NS set.
+			var nsSet []dnswire.RR
+			for _, rr := range resp.Answer {
+				if rr.Type() == dnswire.TypeNS && dnswire.CanonicalName(rr.Name) == zoneName {
+					nsSet = append(nsSet, rr)
+				}
+			}
+			if len(nsSet) == 0 {
+				return nil, fmt.Errorf("%w: no NS for %s at %s", ErrLameReferal, zoneName, server)
+			}
+			d := &Delegation{Zone: zoneName, ParentNS: nsSet, ParentZone: currentZone, ParentServers: servers}
+			// DS must be fetched from the parent explicitly.
+			dsResp, _, err := r.queryAny(ctx, servers, zoneName, dnswire.TypeDS)
+			if err == nil && dsResp.Rcode == dnswire.RcodeNoError {
+				for _, rr := range dsResp.Answer {
+					switch rr.Type() {
+					case dnswire.TypeDS:
+						d.DS = append(d.DS, rr)
+					case dnswire.TypeRRSIG:
+						if rr.Data.(*dnswire.RRSIG).TypeCovered == dnswire.TypeDS {
+							d.DSSigs = append(d.DSSigs, rr)
+						}
+					}
+				}
+			}
+			// A server hosting both parent and child answers without a
+			// visible referral, leaving currentZone at whatever level
+			// the walk reached. The DS RRSIG names the true delegating
+			// zone.
+			if len(d.DSSigs) > 0 {
+				d.ParentZone = dnswire.CanonicalName(d.DSSigs[0].Data.(*dnswire.RRSIG).SignerName)
+			}
+			return d, nil
+		}
+		return nil, fmt.Errorf("%w: non-authoritative non-referral from %s for %s", ErrLameReferal, server, zoneName)
+	}
+	return nil, ErrLoop
+}
+
+// referralCut inspects a response for referral shape and returns the
+// cut name and NS set.
+func referralCut(resp *dnswire.Message) (string, []dnswire.RR) {
+	if resp.Authoritative || len(resp.Answer) > 0 {
+		return "", nil
+	}
+	var cut string
+	var nsSet []dnswire.RR
+	for _, rr := range resp.Authority {
+		if rr.Type() != dnswire.TypeNS {
+			continue
+		}
+		name := dnswire.CanonicalName(rr.Name)
+		if cut == "" {
+			cut = name
+		}
+		if name == cut {
+			nsSet = append(nsSet, rr)
+		}
+	}
+	return cut, nsSet
+}
+
+// serversForDelegation resolves the delegation's NS hostnames to
+// addresses, preferring glue.
+func (r *Resolver) serversForDelegation(ctx context.Context, d *Delegation) ([]netip.AddrPort, error) {
+	var out []netip.AddrPort
+	glueByHost := make(map[string][]netip.Addr)
+	for _, rr := range d.Glue {
+		host := dnswire.CanonicalName(rr.Name)
+		switch a := rr.Data.(type) {
+		case *dnswire.A:
+			glueByHost[host] = append(glueByHost[host], a.Addr)
+		case *dnswire.AAAA:
+			glueByHost[host] = append(glueByHost[host], a.Addr)
+		}
+	}
+	var needsResolve []string
+	for _, host := range d.NSHosts() {
+		addrs := glueByHost[dnswire.CanonicalName(host)]
+		if len(addrs) == 0 {
+			needsResolve = append(needsResolve, host)
+			continue
+		}
+		for _, a := range addrs {
+			out = append(out, netip.AddrPortFrom(a, r.Port()))
+		}
+	}
+	// Only chase glue-less (out-of-bailiwick) NS hosts when the glue
+	// gave us nothing — resolving them eagerly can recurse through
+	// mutually-hosted zones, and for descending the tree any one
+	// reachable server suffices.
+	if len(out) == 0 {
+		for _, host := range needsResolve {
+			addrs, err := r.AddrsOf(ctx, host)
+			if err != nil {
+				continue // a lame NS host; others may still work
+			}
+			for _, a := range addrs {
+				out = append(out, netip.AddrPortFrom(a, r.Port()))
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no addresses for NS of %s", ErrNoServers, d.Zone)
+	}
+	return out, nil
+}
+
+// queryAny tries servers in order until one responds.
+func (r *Resolver) queryAny(ctx context.Context, servers []netip.AddrPort, name string, qtype dnswire.Type) (*dnswire.Message, netip.AddrPort, error) {
+	if len(servers) == 0 {
+		return nil, netip.AddrPort{}, ErrNoServers
+	}
+	var lastErr error
+	for _, s := range servers {
+		resp, err := r.Exchange(ctx, s, name, qtype)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Rcode == dnswire.RcodeServFail {
+			lastErr = fmt.Errorf("resolver: SERVFAIL from %s", s)
+			continue
+		}
+		return resp, s, nil
+	}
+	return nil, netip.AddrPort{}, fmt.Errorf("%w: %v", ErrNoServers, lastErr)
+}
+
+func (r *Resolver) cacheZone(zoneName string, servers []netip.AddrPort) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.zoneCache == nil {
+		r.zoneCache = make(map[string][]netip.AddrPort)
+	}
+	r.zoneCache[zoneName] = servers
+}
+
+func (r *Resolver) cachedZone(zoneName string) ([]netip.AddrPort, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.zoneCache[zoneName]
+	return s, ok
+}
+
+// Lookup iteratively resolves (name, qtype) and returns the answer
+// section of the final response together with its rcode. CNAMEs are
+// followed across zones.
+func (r *Resolver) Lookup(ctx context.Context, name string, qtype dnswire.Type) ([]dnswire.RR, dnswire.Rcode, error) {
+	name = dnswire.CanonicalName(name)
+	for aliasDepth := 0; aliasDepth < 8; aliasDepth++ {
+		answer, rcode, err := r.lookupOnce(ctx, name, qtype)
+		if err != nil {
+			return nil, rcode, err
+		}
+		if len(answer) > 0 {
+			// Follow a terminal CNAME if the desired type is absent.
+			var want []dnswire.RR
+			var cname string
+			for _, rr := range answer {
+				if rr.Type() == qtype {
+					want = append(want, rr)
+				}
+				if rr.Type() == dnswire.TypeCNAME {
+					cname = rr.Data.(*dnswire.CNAME).Target
+				}
+			}
+			if len(want) > 0 || cname == "" || qtype == dnswire.TypeCNAME {
+				return answer, rcode, nil
+			}
+			name = cname
+			continue
+		}
+		return answer, rcode, nil
+	}
+	return nil, dnswire.RcodeNoError, ErrLoop
+}
+
+// lookupOnce descends from the closest cached zone (or the root) to an
+// authoritative answer for name.
+func (r *Resolver) lookupOnce(ctx context.Context, name string, qtype dnswire.Type) ([]dnswire.RR, dnswire.Rcode, error) {
+	servers := r.Roots
+	// Start from the deepest cached enclosing zone.
+	for z := name; ; z = dnswire.Parent(z) {
+		if s, ok := r.cachedZone(z); ok {
+			servers = s
+			break
+		}
+		if z == "." {
+			break
+		}
+	}
+	for depth := 0; depth < r.maxDepth(); depth++ {
+		resp, server, err := r.queryAny(ctx, servers, name, qtype)
+		if err != nil {
+			return nil, dnswire.RcodeServFail, err
+		}
+		if resp.Rcode == dnswire.RcodeNXDomain {
+			return nil, resp.Rcode, fmt.Errorf("%w: %s", ErrNXDomain, name)
+		}
+		if resp.Rcode != dnswire.RcodeNoError {
+			return nil, resp.Rcode, fmt.Errorf("resolver: %s from %s for %s/%s", resp.Rcode, server, name, qtype)
+		}
+		if resp.Authoritative || len(resp.Answer) > 0 {
+			return resp.Answer, resp.Rcode, nil
+		}
+		cut, _ := referralCut(resp)
+		if cut == "" {
+			return nil, resp.Rcode, fmt.Errorf("%w: dead end at %s for %s", ErrLameReferal, server, name)
+		}
+		d := &Delegation{Zone: cut}
+		for _, rr := range resp.Authority {
+			if rr.Type() == dnswire.TypeNS && dnswire.CanonicalName(rr.Name) == cut {
+				d.ParentNS = append(d.ParentNS, rr)
+			}
+		}
+		for _, rr := range resp.Additional {
+			if rr.Type() == dnswire.TypeA || rr.Type() == dnswire.TypeAAAA {
+				d.Glue = append(d.Glue, rr)
+			}
+		}
+		next, err := r.serversForDelegation(ctx, d)
+		if err != nil {
+			return nil, resp.Rcode, err
+		}
+		servers = next
+		r.cacheZone(cut, next)
+	}
+	return nil, dnswire.RcodeNoError, ErrLoop
+}
+
+// AddrsOf resolves a hostname to all of its A and AAAA addresses. It
+// refuses re-entrant resolution of a host already being resolved on
+// this goroutine's call chain (glue-less mutual hosting would loop
+// forever otherwise).
+func (r *Resolver) AddrsOf(ctx context.Context, host string) ([]netip.Addr, error) {
+	host = dnswire.CanonicalName(host)
+	r.mu.RLock()
+	cached, ok := r.addrCache[host]
+	r.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	r.mu.Lock()
+	if r.inflight == nil {
+		r.inflight = make(map[string]bool)
+	}
+	if r.inflight[host] {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: resolution cycle on %s", ErrLoop, host)
+	}
+	r.inflight[host] = true
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.inflight, host)
+		r.mu.Unlock()
+	}()
+	var addrs []netip.Addr
+	for _, qtype := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
+		answer, _, err := r.Lookup(ctx, host, qtype)
+		if err != nil {
+			continue
+		}
+		for _, rr := range answer {
+			switch a := rr.Data.(type) {
+			case *dnswire.A:
+				addrs = append(addrs, a.Addr)
+			case *dnswire.AAAA:
+				addrs = append(addrs, a.Addr)
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: no addresses for %s", ErrNoServers, host)
+	}
+	r.mu.Lock()
+	if r.addrCache == nil {
+		r.addrCache = make(map[string][]netip.Addr)
+	}
+	r.addrCache[host] = addrs
+	r.mu.Unlock()
+	return addrs, nil
+}

@@ -1,0 +1,241 @@
+package scan
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/zone"
+)
+
+// JSON export of observations, one object per line (JSONL). The paper
+// retained every raw DNS message of its 6.5 TiB campaign; this export
+// keeps the analysis-relevant view: all records in presentation form,
+// per-NS outcomes, validation results and query accounting, so the
+// classification can be re-run offline.
+
+// ObservationJSON is the serialised form of a ZoneObservation.
+type ObservationJSON struct {
+	Zone       string   `json:"zone"`
+	ResolveErr string   `json:"resolve_err,omitempty"`
+	ParentZone string   `json:"parent_zone,omitempty"`
+	ParentNS   []string `json:"parent_ns,omitempty"`
+	ChildNS    []string `json:"child_ns,omitempty"`
+	DS         []string `json:"ds,omitempty"`
+	DSSigs     []string `json:"ds_sigs,omitempty"`
+	DNSKEY     []string `json:"dnskey,omitempty"`
+	DNSKEYSigs []string `json:"dnskey_sigs,omitempty"`
+	ChainValid bool     `json:"chain_valid"`
+	ChainErr   string   `json:"chain_err,omitempty"`
+	SampledNS  bool     `json:"sampled_ns,omitempty"`
+	Queries    int64    `json:"queries"`
+
+	PerNS   []NSObservationJSON     `json:"per_ns,omitempty"`
+	Signals []SignalObservationJSON `json:"signals,omitempty"`
+}
+
+// NSObservationJSON serialises one nameserver's view.
+type NSObservationJSON struct {
+	Host           string   `json:"host"`
+	Addr           string   `json:"addr"`
+	CDSOutcome     string   `json:"cds_outcome"`
+	CDNSKEYOutcome string   `json:"cdnskey_outcome"`
+	CDS            []string `json:"cds,omitempty"`
+	CDNSKEY        []string `json:"cdnskey,omitempty"`
+	CDSSigs        []string `json:"cds_sigs,omitempty"`
+	CDNSKEYSigs    []string `json:"cdnskey_sigs,omitempty"`
+}
+
+// SignalObservationJSON serialises one RFC 9615 probe.
+type SignalObservationJSON struct {
+	NSHost        string   `json:"ns_host"`
+	Owner         string   `json:"owner,omitempty"`
+	Outcome       string   `json:"outcome"`
+	Records       []string `json:"records,omitempty"`
+	Sigs          []string `json:"sigs,omitempty"`
+	Secure        bool     `json:"secure"`
+	ValidationErr string   `json:"validation_err,omitempty"`
+	ZoneCut       bool     `json:"zone_cut,omitempty"`
+	NameTooLong   bool     `json:"name_too_long,omitempty"`
+}
+
+func rrStrings(rrs []dnswire.RR) []string {
+	if len(rrs) == 0 {
+		return nil
+	}
+	out := make([]string, len(rrs))
+	for i, rr := range rrs {
+		out[i] = rr.String()
+	}
+	return out
+}
+
+// ToJSON converts an observation into its export form.
+func (z *ZoneObservation) ToJSON() ObservationJSON {
+	out := ObservationJSON{
+		Zone:       z.Zone,
+		ResolveErr: z.ResolveErr,
+		ParentZone: z.ParentZone,
+		ParentNS:   z.ParentNS,
+		ChildNS:    z.ChildNS,
+		DS:         rrStrings(z.DS),
+		DSSigs:     rrStrings(z.DSSigs),
+		DNSKEY:     rrStrings(z.DNSKEY),
+		DNSKEYSigs: rrStrings(z.DNSKEYSigs),
+		ChainValid: z.ChainValid,
+		ChainErr:   z.ChainErr,
+		SampledNS:  z.SampledNS,
+		Queries:    z.Queries,
+	}
+	for _, ns := range z.PerNS {
+		out.PerNS = append(out.PerNS, NSObservationJSON{
+			Host:           ns.Host,
+			Addr:           ns.Addr.String(),
+			CDSOutcome:     ns.CDSOutcome.String(),
+			CDNSKEYOutcome: ns.CDNSKEYOutcome.String(),
+			CDS:            rrStrings(ns.CDS),
+			CDNSKEY:        rrStrings(ns.CDNSKEY),
+			CDSSigs:        rrStrings(ns.CDSSigs),
+			CDNSKEYSigs:    rrStrings(ns.CDNSKEYSigs),
+		})
+	}
+	for _, so := range z.Signals {
+		out.Signals = append(out.Signals, SignalObservationJSON{
+			NSHost:        so.NSHost,
+			Owner:         so.Owner,
+			Outcome:       so.Outcome.String(),
+			Records:       rrStrings(so.Records),
+			Sigs:          rrStrings(so.Sigs),
+			Secure:        so.Secure,
+			ValidationErr: so.ValidationErr,
+			ZoneCut:       so.ZoneCut,
+			NameTooLong:   so.NameTooLong,
+		})
+	}
+	return out
+}
+
+// WriteJSONL streams observations to w, one JSON object per line.
+func WriteJSONL(w io.Writer, observations []*ZoneObservation) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	for _, obs := range observations {
+		if err := enc.Encode(obs.ToJSON()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL export back into the serialised form (for
+// offline analysis tooling and tests).
+func ReadJSONL(r io.Reader) ([]ObservationJSON, error) {
+	var out []ObservationJSON
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	for dec.More() {
+		var o ObservationJSON
+		if err := dec.Decode(&o); err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// FromJSON reconstructs a typed observation from its export form,
+// re-parsing every record's presentation string. Outcome strings map
+// back to their enum values; unknown strings become OutcomeError.
+func FromJSON(o ObservationJSON) (*ZoneObservation, error) {
+	obs := &ZoneObservation{
+		Zone:       o.Zone,
+		ResolveErr: o.ResolveErr,
+		ParentZone: o.ParentZone,
+		ParentNS:   o.ParentNS,
+		ChildNS:    o.ChildNS,
+		ChainValid: o.ChainValid,
+		ChainErr:   o.ChainErr,
+		SampledNS:  o.SampledNS,
+		Queries:    o.Queries,
+	}
+	var err error
+	if obs.DS, err = parseRRs(o.DS); err != nil {
+		return nil, err
+	}
+	if obs.DSSigs, err = parseRRs(o.DSSigs); err != nil {
+		return nil, err
+	}
+	if obs.DNSKEY, err = parseRRs(o.DNSKEY); err != nil {
+		return nil, err
+	}
+	if obs.DNSKEYSigs, err = parseRRs(o.DNSKEYSigs); err != nil {
+		return nil, err
+	}
+	for _, ns := range o.PerNS {
+		addr, _ := netip.ParseAddr(ns.Addr)
+		n := NSObservation{
+			Host:           ns.Host,
+			Addr:           addr,
+			CDSOutcome:     outcomeFromString(ns.CDSOutcome),
+			CDNSKEYOutcome: outcomeFromString(ns.CDNSKEYOutcome),
+		}
+		if n.CDS, err = parseRRs(ns.CDS); err != nil {
+			return nil, err
+		}
+		if n.CDNSKEY, err = parseRRs(ns.CDNSKEY); err != nil {
+			return nil, err
+		}
+		if n.CDSSigs, err = parseRRs(ns.CDSSigs); err != nil {
+			return nil, err
+		}
+		if n.CDNSKEYSigs, err = parseRRs(ns.CDNSKEYSigs); err != nil {
+			return nil, err
+		}
+		obs.PerNS = append(obs.PerNS, n)
+	}
+	for _, sj := range o.Signals {
+		so := SignalObservation{
+			NSHost:        sj.NSHost,
+			Owner:         sj.Owner,
+			Outcome:       outcomeFromString(sj.Outcome),
+			Secure:        sj.Secure,
+			ValidationErr: sj.ValidationErr,
+			ZoneCut:       sj.ZoneCut,
+			NameTooLong:   sj.NameTooLong,
+		}
+		if so.Records, err = parseRRs(sj.Records); err != nil {
+			return nil, err
+		}
+		if so.Sigs, err = parseRRs(sj.Sigs); err != nil {
+			return nil, err
+		}
+		obs.Signals = append(obs.Signals, so)
+	}
+	return obs, nil
+}
+
+func parseRRs(lines []string) ([]dnswire.RR, error) {
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	out := make([]dnswire.RR, 0, len(lines))
+	for _, l := range lines {
+		rr, err := zone.ParseRR(l)
+		if err != nil {
+			return nil, fmt.Errorf("scan: re-parsing %q: %w", l, err)
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}
+
+func outcomeFromString(s string) Outcome {
+	for _, o := range []Outcome{OutcomeOK, OutcomeNoData, OutcomeNXDomain, OutcomeError, OutcomeTimeout, OutcomeUnreachable} {
+		if o.String() == s {
+			return o
+		}
+	}
+	return OutcomeError
+}

@@ -1,0 +1,201 @@
+// Package scan implements the measurement engine of the reproduction —
+// the equivalent of the YoDNS scanner the paper uses (§3). For each
+// target zone it resolves the full dependency tree, queries every
+// authoritative nameserver for CDS/CDNSKEY records, collects the
+// DNSSEC material (DS at the parent, DNSKEY, RRSIGs), probes the
+// RFC 9615 signalling names under every nameserver, and validates
+// DNSSEC chains. Its output, ZoneObservation, is the input to
+// internal/classify.
+package scan
+
+import (
+	"net/netip"
+
+	"dnssecboot/internal/dnswire"
+)
+
+// Outcome describes how a single query attempt ended.
+type Outcome int
+
+// Query outcomes.
+const (
+	// OutcomeOK: an answer with records.
+	OutcomeOK Outcome = iota
+	// OutcomeNoData: NOERROR with an empty answer (type absent).
+	OutcomeNoData
+	// OutcomeNXDomain: the name does not exist.
+	OutcomeNXDomain
+	// OutcomeError: the server returned an error rcode (FORMERR,
+	// SERVFAIL, REFUSED, NOTIMP) — the paper's "failed … or returned an
+	// error response, when queried about these RRs".
+	OutcomeError
+	// OutcomeTimeout: no response.
+	OutcomeTimeout
+	// OutcomeUnreachable: no route / connection refused.
+	OutcomeUnreachable
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeNoData:
+		return "nodata"
+	case OutcomeNXDomain:
+		return "nxdomain"
+	case OutcomeError:
+		return "error"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeUnreachable:
+		return "unreachable"
+	}
+	return "unknown"
+}
+
+// Failed reports whether the outcome is a server failure (as opposed
+// to a well-formed negative answer).
+func (o Outcome) Failed() bool {
+	return o == OutcomeError || o == OutcomeTimeout || o == OutcomeUnreachable
+}
+
+// NSObservation is the per-nameserver view of a zone's CDS records.
+type NSObservation struct {
+	// Host is the NS hostname; Addr the specific address queried.
+	Host string
+	Addr netip.Addr
+	// CDS and CDNSKEY are the child-published sets returned by this
+	// server, with their RRSIGs.
+	CDS         []dnswire.RR
+	CDNSKEY     []dnswire.RR
+	CDSSigs     []dnswire.RR
+	CDNSKEYSigs []dnswire.RR
+	// CDSOutcome and CDNSKEYOutcome record how the queries ended.
+	CDSOutcome     Outcome
+	CDNSKEYOutcome Outcome
+}
+
+// CombinedCDS returns the CDS and CDNSKEY records together, the unit
+// the paper calls "CDS" for brevity (§2).
+func (n *NSObservation) CombinedCDS() []dnswire.RR {
+	out := append([]dnswire.RR(nil), n.CDS...)
+	return append(out, n.CDNSKEY...)
+}
+
+// SignalObservation is the view of one RFC 9615 signalling name
+// (_dsboot.<child>._signal.<ns>) for one nameserver of the child.
+type SignalObservation struct {
+	// NSHost is the child nameserver whose signalling name was probed.
+	NSHost string
+	// Owner is the full signalling name.
+	Owner string
+	// Records are the CDS/CDNSKEY records found there; Sigs their
+	// RRSIGs.
+	Records []dnswire.RR
+	Sigs    []dnswire.RR
+	// Outcome is how the probe ended.
+	Outcome Outcome
+	// NameTooLong is set when the signalling name exceeds the 255-octet
+	// limit and could not be queried at all (§2 limitations).
+	NameTooLong bool
+	// Secure is set when the records validated under a full DNSSEC
+	// chain from the root; ValidationErr carries the failure otherwise.
+	Secure        bool
+	ValidationErr string
+	// ZoneCut is set when a zone cut was detected between the signal
+	// zone apex and the record owner, which RFC 9615 forbids.
+	ZoneCut bool
+}
+
+// ZoneObservation aggregates everything the scanner learned about one
+// target zone.
+type ZoneObservation struct {
+	// Zone is the scanned apex.
+	Zone string
+	// ResolveErr is non-empty when the zone failed to resolve entirely
+	// (excluded from the paper's population, §4.1).
+	ResolveErr string
+
+	// ParentZone is the delegating zone (the TLD for our targets).
+	ParentZone string
+	// ParentNS is the delegation NS set as served by the parent;
+	// ChildNS the apex NS set as served by the child.
+	ParentNS []string
+	ChildNS  []string
+
+	// DS is the DS RRset at the parent with signatures.
+	DS     []dnswire.RR
+	DSSigs []dnswire.RR
+	// DNSKEY is the child apex key set with signatures.
+	DNSKEY     []dnswire.RR
+	DNSKEYSigs []dnswire.RR
+
+	// ChainValid is set when DS→DNSKEY→SOA validation succeeded;
+	// ChainErr carries the failure otherwise. Only meaningful when both
+	// DS and DNSKEY are non-empty.
+	ChainValid bool
+	ChainErr   string
+
+	// PerNS holds the per-nameserver CDS observations (one entry per
+	// (host, address) pair actually queried).
+	PerNS []NSObservation
+	// SampledNS is true when only a subset of this zone's nameserver
+	// addresses was queried (the Cloudflare optimisation, §3).
+	SampledNS bool
+
+	// Signals holds the RFC 9615 probes, one per child NS host.
+	Signals []SignalObservation
+
+	// Queries is the number of DNS queries this zone's scan consumed
+	// (Appendix D accounting).
+	Queries int64
+}
+
+// AllNSHosts returns the union of parent- and child-side NS hostnames.
+func (z *ZoneObservation) AllNSHosts() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, set := range [][]string{z.ParentNS, z.ChildNS} {
+		for _, h := range set {
+			h = dnswire.CanonicalName(h)
+			if !seen[h] {
+				seen[h] = true
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// NSSetsDiffer reports whether the parent and child disagree about the
+// NS set — the misconfiguration behind 33 of the signal-violation
+// zones in §4.4.
+func (z *ZoneObservation) NSSetsDiffer() bool {
+	if len(z.ParentNS) == 0 || len(z.ChildNS) == 0 {
+		return false
+	}
+	norm := func(in []string) map[string]bool {
+		m := make(map[string]bool, len(in))
+		for _, h := range in {
+			m[dnswire.CanonicalName(h)] = true
+		}
+		return m
+	}
+	p, c := norm(z.ParentNS), norm(z.ChildNS)
+	if len(p) != len(c) {
+		return true
+	}
+	for h := range p {
+		if !c[h] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSigned reports whether the child publishes a DNSKEY RRset.
+func (z *ZoneObservation) IsSigned() bool { return len(z.DNSKEY) > 0 }
+
+// HasDS reports whether the parent serves a DS RRset.
+func (z *ZoneObservation) HasDS() bool { return len(z.DS) > 0 }

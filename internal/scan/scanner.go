@@ -1,0 +1,469 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnssecboot/internal/dnssec"
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/resolver"
+	"dnssecboot/internal/transport"
+	"dnssecboot/internal/zone"
+)
+
+// Config parameterises a Scanner.
+type Config struct {
+	// Resolver performs all lookups (and carries rate limits).
+	Resolver *resolver.Resolver
+	// Now anchors DNSSEC validity checks.
+	Now time.Time
+	// Concurrency is the number of parallel zone scans in ScanAll.
+	// Zero means 8.
+	Concurrency int
+	// SampleSuffixes lists NS-hostname suffixes whose address pools are
+	// sampled rather than exhaustively queried — the paper's Cloudflare
+	// optimisation (§3). For matching zones only one IPv4 and one IPv6
+	// address are queried, except for FullScanFraction of zones.
+	SampleSuffixes []string
+	// FullScanFraction is the fraction of sampled-operator zones still
+	// scanned exhaustively (the paper used 5 %).
+	FullScanFraction float64
+	// ProbeSignals enables RFC 9615 signalling-name probes.
+	ProbeSignals bool
+	// SignalOnlyCandidates restricts signal probes to zones that are
+	// signed or publish CDS — the short-circuit a registry would apply
+	// (Appendix D).
+	SignalOnlyCandidates bool
+	// TrustAnchor optionally pins the root keys (see Validator).
+	TrustAnchor []dnswire.RR
+	// Seed makes sampling decisions deterministic.
+	Seed int64
+}
+
+// Scanner runs measurement scans.
+type Scanner struct {
+	cfg Config
+	val *Validator
+}
+
+// New creates a Scanner.
+func New(cfg Config) *Scanner {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Now.IsZero() {
+		cfg.Now = time.Now()
+	}
+	return &Scanner{
+		cfg: cfg,
+		val: &Validator{R: cfg.Resolver, Now: cfg.Now, TrustAnchor: cfg.TrustAnchor},
+	}
+}
+
+// Validator exposes the scanner's chain validator (shared cache).
+func (s *Scanner) Validator() *Validator { return s.val }
+
+// ScanAll scans every zone with bounded concurrency, preserving input
+// order in the result.
+func (s *Scanner) ScanAll(ctx context.Context, zones []string) []*ZoneObservation {
+	out := make([]*ZoneObservation, len(zones))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.cfg.Concurrency)
+	for i, z := range zones {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, z string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = s.ScanZone(ctx, z)
+		}(i, z)
+	}
+	wg.Wait()
+	return out
+}
+
+// ScanZone performs the full per-zone measurement.
+func (s *Scanner) ScanZone(ctx context.Context, zoneName string) *ZoneObservation {
+	zoneName = dnswire.CanonicalName(zoneName)
+	obs := &ZoneObservation{Zone: zoneName}
+	ctx, counter := resolver.WithQueryCounter(ctx)
+	defer func() { obs.Queries = counter.Load() }()
+
+	d, err := s.cfg.Resolver.Delegation(ctx, zoneName)
+	if err != nil {
+		obs.ResolveErr = err.Error()
+		return obs
+	}
+	obs.ParentZone = d.ParentZone
+	obs.ParentNS = d.NSHosts()
+	obs.DS = d.DS
+	obs.DSSigs = d.DSSigs
+
+	// Resolve every NS host to its addresses.
+	var pairs []hostAddr
+	glue := glueMap(d.Glue)
+	for _, host := range obs.ParentNS {
+		addrs := glue[dnswire.CanonicalName(host)]
+		if len(addrs) == 0 {
+			if got, err := s.cfg.Resolver.AddrsOf(ctx, host); err == nil {
+				addrs = got
+			}
+		}
+		for _, a := range addrs {
+			pairs = append(pairs, hostAddr{dnswire.CanonicalName(host), a})
+		}
+	}
+	if len(pairs) == 0 {
+		obs.ResolveErr = "no reachable nameserver addresses"
+		return obs
+	}
+
+	// Baseline queries against the first responsive server: SOA
+	// (liveness), apex NS (child view), DNSKEY.
+	var alive *hostAddr
+	for i := range pairs {
+		resp, err := s.exchange(ctx, pairs[i].addr, zoneName, dnswire.TypeSOA)
+		if err != nil || resp.Rcode == dnswire.RcodeServFail {
+			continue
+		}
+		alive = &pairs[i]
+		break
+	}
+	if alive == nil {
+		obs.ResolveErr = "no nameserver answered SOA"
+		return obs
+	}
+	if resp, err := s.exchange(ctx, alive.addr, zoneName, dnswire.TypeNS); err == nil {
+		for _, rr := range resp.Answer {
+			if ns, ok := rr.Data.(*dnswire.NS); ok && dnswire.CanonicalName(rr.Name) == zoneName {
+				obs.ChildNS = append(obs.ChildNS, ns.Target)
+			}
+		}
+	}
+	if resp, err := s.exchange(ctx, alive.addr, zoneName, dnswire.TypeDNSKEY); err == nil {
+		for _, rr := range resp.Answer {
+			switch rd := rr.Data.(type) {
+			case *dnswire.DNSKEY:
+				obs.DNSKEY = append(obs.DNSKEY, rr)
+			case *dnswire.RRSIG:
+				if rd.TypeCovered == dnswire.TypeDNSKEY {
+					obs.DNSKEYSigs = append(obs.DNSKEYSigs, rr)
+				}
+			}
+		}
+	}
+
+	// Per-NS CDS queries, with the sampling optimisation.
+	selected := pairs
+	if s.sampled(zoneName, obs.ParentNS) {
+		selected = samplePairs(pairs)
+		obs.SampledNS = len(selected) < len(pairs)
+	}
+	for _, p := range selected {
+		obs.PerNS = append(obs.PerNS, s.observeNS(ctx, zoneName, p.host, p.addr))
+	}
+
+	// Chain validation: DS → DNSKEY, then the SOA RRset under those
+	// keys (the zone-passes-validation check).
+	if obs.IsSigned() && obs.HasDS() {
+		err := dnssec.VerifyChainLink(zoneName, obs.DS, obs.DNSKEY, obs.DNSKEYSigs, s.cfg.Now)
+		if err == nil {
+			err = s.verifyApexSOA(ctx, alive.addr, zoneName, obs.DNSKEY)
+		}
+		if err != nil {
+			obs.ChainErr = err.Error()
+		} else {
+			obs.ChainValid = true
+		}
+	} else if obs.IsSigned() {
+		// Secure island: still check internal consistency so classify
+		// can distinguish well-signed islands from broken ones.
+		err := dnssec.VerifyRRset(obs.DNSKEY, obs.DNSKEYSigs, obs.DNSKEY, s.cfg.Now)
+		if err == nil {
+			err = s.verifyApexSOA(ctx, alive.addr, zoneName, obs.DNSKEY)
+		}
+		if err != nil {
+			obs.ChainErr = err.Error()
+		} else {
+			obs.ChainValid = true
+		}
+	}
+
+	// RFC 9615 signal probes.
+	if s.cfg.ProbeSignals && (!s.cfg.SignalOnlyCandidates || s.signalCandidate(obs)) {
+		// Probe the union of parent- and child-side NS hosts: RFC 9615
+		// requires signals under every NS, and disagreements between
+		// the two views are exactly the Cloudflare misconfiguration the
+		// paper reports (§4.4).
+		for _, host := range obs.AllNSHosts() {
+			obs.Signals = append(obs.Signals, s.probeSignal(ctx, zoneName, dnswire.CanonicalName(host)))
+		}
+		s.checkZoneCuts(ctx, obs)
+	}
+	return obs
+}
+
+func (s *Scanner) signalCandidate(obs *ZoneObservation) bool {
+	if obs.IsSigned() {
+		return true
+	}
+	for _, ns := range obs.PerNS {
+		if len(ns.CombinedCDS()) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func glueMap(glue []dnswire.RR) map[string][]netip.Addr {
+	m := make(map[string][]netip.Addr)
+	for _, rr := range glue {
+		host := dnswire.CanonicalName(rr.Name)
+		switch a := rr.Data.(type) {
+		case *dnswire.A:
+			m[host] = append(m[host], a.Addr)
+		case *dnswire.AAAA:
+			m[host] = append(m[host], a.Addr)
+		}
+	}
+	return m
+}
+
+// sampled decides whether this zone's NS pool is subject to sampling:
+// every NS host must match a sample suffix, and the zone must not fall
+// into the full-scan fraction.
+func (s *Scanner) sampled(zoneName string, hosts []string) bool {
+	if len(s.cfg.SampleSuffixes) == 0 || len(hosts) == 0 {
+		return false
+	}
+	for _, h := range hosts {
+		matched := false
+		for _, suf := range s.cfg.SampleSuffixes {
+			if dnswire.IsSubdomain(h, suf) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(zoneName))
+	var seed [8]byte
+	for i := range seed {
+		seed[i] = byte(s.cfg.Seed >> (8 * i))
+	}
+	h.Write(seed[:])
+	frac := float64(h.Sum64()%10000) / 10000
+	return frac >= s.cfg.FullScanFraction
+}
+
+// hostAddr is one (nameserver hostname, address) pair to query.
+type hostAddr struct {
+	host string
+	addr netip.Addr
+}
+
+// samplePairs keeps one IPv4 and one IPv6 address overall — the
+// paper's reduced Cloudflare scan shape ("1 IPv4 and 1 IPv6").
+func samplePairs(pairs []hostAddr) []hostAddr {
+	var out []hostAddr
+	got4, got6 := false, false
+	for _, p := range pairs {
+		switch {
+		case p.addr.Is4() && !got4:
+			out = append(out, p)
+			got4 = true
+		case p.addr.Is6() && !got6:
+			out = append(out, p)
+			got6 = true
+		}
+		if got4 && got6 {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return pairs
+	}
+	return out
+}
+
+func (s *Scanner) observeNS(ctx context.Context, zoneName, host string, addr netip.Addr) NSObservation {
+	ns := NSObservation{Host: host, Addr: addr}
+	ns.CDS, ns.CDSSigs, ns.CDSOutcome = s.queryCDS(ctx, addr, zoneName, dnswire.TypeCDS)
+	ns.CDNSKEY, ns.CDNSKEYSigs, ns.CDNSKEYOutcome = s.queryCDS(ctx, addr, zoneName, dnswire.TypeCDNSKEY)
+	return ns
+}
+
+func (s *Scanner) queryCDS(ctx context.Context, addr netip.Addr, zoneName string, typ dnswire.Type) ([]dnswire.RR, []dnswire.RR, Outcome) {
+	resp, err := s.exchange(ctx, addr, zoneName, typ)
+	if err != nil {
+		if errors.Is(err, transport.ErrUnreachable) {
+			return nil, nil, OutcomeUnreachable
+		}
+		return nil, nil, OutcomeTimeout
+	}
+	switch resp.Rcode {
+	case dnswire.RcodeNoError:
+	case dnswire.RcodeNXDomain:
+		return nil, nil, OutcomeNXDomain
+	default:
+		return nil, nil, OutcomeError
+	}
+	var records, sigs []dnswire.RR
+	for _, rr := range resp.Answer {
+		if rr.Type() == typ && dnswire.CanonicalName(rr.Name) == zoneName {
+			records = append(records, rr)
+		}
+		if sig, ok := rr.Data.(*dnswire.RRSIG); ok && sig.TypeCovered == typ {
+			sigs = append(sigs, rr)
+		}
+	}
+	if len(records) == 0 {
+		return nil, nil, OutcomeNoData
+	}
+	return records, sigs, OutcomeOK
+}
+
+func (s *Scanner) exchange(ctx context.Context, addr netip.Addr, name string, typ dnswire.Type) (*dnswire.Message, error) {
+	return s.cfg.Resolver.Exchange(ctx, netip.AddrPortFrom(addr, s.cfg.Resolver.Port()), name, typ)
+}
+
+func (s *Scanner) verifyApexSOA(ctx context.Context, addr netip.Addr, zoneName string, keys []dnswire.RR) error {
+	resp, err := s.exchange(ctx, addr, zoneName, dnswire.TypeSOA)
+	if err != nil {
+		return err
+	}
+	var soa, sigs []dnswire.RR
+	for _, rr := range resp.Answer {
+		switch rd := rr.Data.(type) {
+		case *dnswire.SOA:
+			soa = append(soa, rr)
+		case *dnswire.RRSIG:
+			if rd.TypeCovered == dnswire.TypeSOA {
+				sigs = append(sigs, rr)
+			}
+		}
+	}
+	if len(soa) == 0 {
+		return errors.New("scan: no SOA in apex answer")
+	}
+	return dnssec.VerifyRRset(soa, sigs, keys, s.cfg.Now)
+}
+
+// probeSignal fetches CDS/CDNSKEY at _dsboot.<child>._signal.<ns> and
+// chain-validates what it finds.
+func (s *Scanner) probeSignal(ctx context.Context, child, nsHost string) SignalObservation {
+	so := SignalObservation{NSHost: nsHost}
+	owner, err := zone.SignalName(child, nsHost)
+	if err != nil {
+		so.NameTooLong = true
+		so.Outcome = OutcomeError
+		return so
+	}
+	so.Owner = owner
+	for _, typ := range []dnswire.Type{dnswire.TypeCDS, dnswire.TypeCDNSKEY} {
+		answer, rcode, err := s.cfg.Resolver.Lookup(ctx, owner, typ)
+		if err != nil {
+			switch {
+			case rcode == dnswire.RcodeNXDomain:
+				so.Outcome = OutcomeNXDomain
+			case errors.Is(err, transport.ErrUnreachable):
+				so.Outcome = OutcomeUnreachable
+			case errors.Is(err, transport.ErrTimeout):
+				so.Outcome = OutcomeTimeout
+			default:
+				so.Outcome = OutcomeError
+			}
+			continue
+		}
+		for _, rr := range answer {
+			if rr.Type() == typ && dnswire.CanonicalName(rr.Name) == owner {
+				so.Records = append(so.Records, rr)
+			}
+			if sig, ok := rr.Data.(*dnswire.RRSIG); ok && sig.TypeCovered == typ {
+				so.Sigs = append(so.Sigs, rr)
+			}
+		}
+	}
+	if len(so.Records) == 0 {
+		if so.Outcome == OutcomeOK {
+			so.Outcome = OutcomeNoData
+		}
+		return so
+	}
+	so.Outcome = OutcomeOK
+
+	// RFC 9615 requires the signalling records to be DNSSEC-secure.
+	byType := dnswire.GroupRRsets(so.Records)
+	secure := true
+	for _, set := range byType {
+		var sigs []dnswire.RR
+		for _, sig := range so.Sigs {
+			if sig.Data.(*dnswire.RRSIG).TypeCovered == set[0].Type() {
+				sigs = append(sigs, sig)
+			}
+		}
+		if err := s.val.ValidateRRset(ctx, set, sigs); err != nil {
+			secure = false
+			so.ValidationErr = err.Error()
+			break
+		}
+	}
+	so.Secure = secure
+	return so
+}
+
+// checkZoneCuts looks for zone cuts inside signal zones, which RFC 9615
+// forbids. It only runs when at least one signal observation found
+// records (the interesting zones), and probes the intermediate names
+// between each _signal.<ns> apex and the record owner with NS queries.
+func (s *Scanner) checkZoneCuts(ctx context.Context, obs *ZoneObservation) {
+	any := false
+	for _, so := range obs.Signals {
+		if len(so.Records) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	for i := range obs.Signals {
+		so := &obs.Signals[i]
+		if so.Owner == "" {
+			continue
+		}
+		apex := zone.SignalZoneName(so.NSHost)
+		for _, name := range intermediateNames(so.Owner, apex) {
+			answer, _, err := s.cfg.Resolver.Lookup(ctx, name, dnswire.TypeNS)
+			if err != nil {
+				continue // NXDOMAIN / timeout: no cut evidence here
+			}
+			for _, rr := range answer {
+				if rr.Type() == dnswire.TypeNS && dnswire.CanonicalName(rr.Name) == name {
+					so.ZoneCut = true
+				}
+			}
+			if so.ZoneCut {
+				break
+			}
+		}
+	}
+}
+
+// intermediateNames lists the names strictly between owner and apex
+// (exclusive on both ends), deepest first.
+func intermediateNames(owner, apex string) []string {
+	owner, apex = dnswire.CanonicalName(owner), dnswire.CanonicalName(apex)
+	var out []string
+	for n := dnswire.Parent(owner); n != apex && n != "." && dnswire.IsSubdomain(n, apex); n = dnswire.Parent(n) {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/transport"
+	"dnssecboot/internal/zone"
+)
+
+// Listener serves a transport.Handler on real UDP and TCP sockets. TCP
+// connections additionally support AXFR (RFC 5936) for zones held by a
+// *Server handler, mirroring how the paper obtained ccTLD zone files.
+type Listener struct {
+	handler transport.Handler
+
+	mu     sync.Mutex
+	pc     net.PacketConn
+	tcp    net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts UDP and TCP listeners on addr (e.g. "127.0.0.1:0") and
+// begins serving h. The returned Listener reports its bound address via
+// Addr.
+func Listen(addr string, h transport.Handler) (*Listener, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tcpAddr := pc.LocalAddr().String()
+	tl, err := net.Listen("tcp", tcpAddr)
+	if err != nil {
+		pc.Close()
+		return nil, err
+	}
+	l := &Listener{handler: h, pc: pc, tcp: tl}
+	l.wg.Add(2)
+	go l.serveUDP()
+	go l.serveTCP()
+	return l, nil
+}
+
+// Addr returns the bound UDP address.
+func (l *Listener) Addr() netip.AddrPort {
+	ap, _ := netip.ParseAddrPort(l.pc.LocalAddr().String())
+	return ap
+}
+
+// Close stops both listeners and waits for in-flight handlers.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.pc.Close()
+	l.tcp.Close()
+	l.wg.Wait()
+	return nil
+}
+
+func (l *Listener) serveUDP() {
+	defer l.wg.Done()
+	buf := make([]byte, 65535)
+	local := l.Addr().Addr()
+	for {
+		n, raddr, err := l.pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go func(pkt []byte, raddr net.Addr) {
+			q, err := dnswire.Unpack(pkt)
+			if err != nil {
+				return
+			}
+			resp, err := l.handler.HandleDNS(context.Background(), local, q)
+			if err != nil || resp == nil {
+				return
+			}
+			limit := 512
+			if e, ok := q.GetEDNS(); ok {
+				limit = int(e.UDPSize)
+			}
+			wire, err := resp.PackTruncating(limit)
+			if err != nil {
+				return
+			}
+			_, _ = l.pc.WriteTo(wire, raddr)
+		}(pkt, raddr)
+	}
+}
+
+func (l *Listener) serveTCP() {
+	defer l.wg.Done()
+	local := l.Addr().Addr()
+	for {
+		conn, err := l.tcp.Accept()
+		if err != nil {
+			return
+		}
+		l.wg.Add(1)
+		go func(conn net.Conn) {
+			defer l.wg.Done()
+			defer conn.Close()
+			for {
+				wire, err := transport.ReadTCPMessage(conn)
+				if err != nil {
+					return
+				}
+				q, err := dnswire.Unpack(wire)
+				if err != nil {
+					return
+				}
+				if len(q.Question) == 1 && q.Question[0].Type == dnswire.TypeAXFR {
+					if err := l.serveAXFR(conn, q); err != nil {
+						return
+					}
+					continue
+				}
+				resp, err := l.handler.HandleDNS(context.Background(), local, q)
+				if err != nil || resp == nil {
+					return
+				}
+				out, err := resp.Pack()
+				if err != nil {
+					return
+				}
+				if err := transport.WriteTCPMessage(conn, out); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// serveAXFR streams a zone transfer: SOA, all records, SOA again
+// (RFC 5936 §2.2), split across messages as needed.
+func (l *Listener) serveAXFR(conn net.Conn, q *dnswire.Message) error {
+	srv, ok := l.handler.(*Server)
+	if !ok {
+		return writeRcode(conn, q, dnswire.RcodeNotImp)
+	}
+	z := srv.Zone(q.Question[0].Name)
+	if z == nil {
+		return writeRcode(conn, q, dnswire.RcodeNotAuth)
+	}
+	soa := z.SOA()
+	if soa == nil {
+		return writeRcode(conn, q, dnswire.RcodeServFail)
+	}
+	records := []dnswire.RR{*soa}
+	for _, rr := range z.All() {
+		if rr.Type() == dnswire.TypeSOA {
+			continue
+		}
+		records = append(records, rr)
+	}
+	records = append(records, *soa)
+
+	const chunk = 200
+	for i := 0; i < len(records); i += chunk {
+		end := i + chunk
+		if end > len(records) {
+			end = len(records)
+		}
+		m := &dnswire.Message{
+			ID: q.ID, Response: true, Authoritative: true,
+			Question: q.Question, Answer: records[i:end],
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			return err
+		}
+		if err := transport.WriteTCPMessage(conn, wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeRcode(conn net.Conn, q *dnswire.Message, rc dnswire.Rcode) error {
+	m := &dnswire.Message{ID: q.ID, Response: true, Rcode: rc, Question: q.Question}
+	wire, err := m.Pack()
+	if err != nil {
+		return err
+	}
+	return transport.WriteTCPMessage(conn, wire)
+}
+
+// AXFR performs a zone transfer from server, reassembling the streamed
+// messages into a Zone. It is the client used to ingest TLD zone files
+// (paper §3, sources iii/iv).
+func AXFR(ctx context.Context, server netip.AddrPort, origin string) (*zone.Zone, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", server.String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	q := dnswire.NewQuery(4242, origin, dnswire.TypeAXFR)
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if err := transport.WriteTCPMessage(conn, wire); err != nil {
+		return nil, err
+	}
+	z := zone.New(origin)
+	soaSeen := 0
+	for soaSeen < 2 {
+		respWire, err := transport.ReadTCPMessage(conn)
+		if err != nil {
+			return nil, fmt.Errorf("server: AXFR read: %w", err)
+		}
+		resp, err := dnswire.Unpack(respWire)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Rcode != dnswire.RcodeNoError {
+			return nil, fmt.Errorf("server: AXFR refused: %s", resp.Rcode)
+		}
+		if len(resp.Answer) == 0 {
+			return nil, errors.New("server: empty AXFR message")
+		}
+		for _, rr := range resp.Answer {
+			if rr.Type() == dnswire.TypeSOA {
+				soaSeen++
+				if soaSeen == 2 {
+					break
+				}
+			}
+			if err := z.Add(rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return z, nil
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/transport"
+)
+
+func TestUDPListenerEndToEnd(t *testing.T) {
+	s := New(1)
+	s.AddZone(buildZone(t, true))
+	l, err := Listen("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	c := &transport.Client{Timeout: 2 * time.Second, Retries: 1}
+	q := dnswire.NewQuery(0, "www.example.com.", dnswire.TypeA)
+	q.SetEDNS(dnswire.EDNS{UDPSize: dnswire.MaxUDPPayload, DO: true})
+	resp, err := c.Exchange(context.Background(), l.Addr(), q)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if resp.Rcode != dnswire.RcodeNoError || len(resp.Answer) == 0 {
+		t.Fatalf("resp = %s", resp.Summary())
+	}
+	hasSig := false
+	for _, rr := range resp.Answer {
+		if rr.Type() == dnswire.TypeRRSIG {
+			hasSig = true
+		}
+	}
+	if !hasSig {
+		t.Error("no RRSIG over UDP with DO")
+	}
+}
+
+func TestTCPFallbackOnTruncation(t *testing.T) {
+	s := New(1)
+	z := buildZone(t, false)
+	// Enough TXT data at one name to overflow a 512-byte UDP response.
+	for i := 0; i < 20; i++ {
+		z.MustAdd(dnswire.RR{Name: "big.example.com.", TTL: 60,
+			Data: &dnswire.TXT{Strings: []string{string(rune('a'+i)) + " padding padding padding padding padding padding"}}})
+	}
+	s.AddZone(z)
+	l, err := Listen("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	c := &transport.Client{Timeout: 2 * time.Second}
+	q := dnswire.NewQuery(0, "big.example.com.", dnswire.TypeTXT) // no EDNS → 512 limit
+	resp, err := c.Exchange(context.Background(), l.Addr(), q)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if resp.Truncated {
+		t.Error("final response still truncated after TCP fallback")
+	}
+	if len(resp.Answer) != 20 {
+		t.Errorf("answers over TCP = %d, want 20", len(resp.Answer))
+	}
+}
+
+func TestAXFREndToEnd(t *testing.T) {
+	s := New(1)
+	z := buildZone(t, true)
+	s.AddZone(z)
+	l, err := Listen("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := AXFR(ctx, l.Addr(), "example.com.")
+	if err != nil {
+		t.Fatalf("AXFR: %v", err)
+	}
+	if got.Size() != z.Size() {
+		t.Errorf("transferred %d records, want %d", got.Size(), z.Size())
+	}
+	if got.SOA() == nil {
+		t.Error("transferred zone lacks SOA")
+	}
+	if !got.IsSigned() {
+		t.Error("transferred zone lost its DNSKEYs")
+	}
+}
+
+func TestAXFRUnknownZone(t *testing.T) {
+	s := New(1)
+	s.AddZone(buildZone(t, false))
+	l, err := Listen("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := AXFR(ctx, l.Addr(), "nothosted.org."); err == nil {
+		t.Error("AXFR of unknown zone succeeded")
+	}
+}

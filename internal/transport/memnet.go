@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"context"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnssecboot/internal/dnswire"
+)
+
+// MemNetwork is a simulated internet: handlers are registered on
+// individual addresses or whole prefixes (anycast, as Cloudflare
+// operates), and exchanges are subject to configurable latency and
+// loss. Every message is packed to wire format and re-parsed on
+// delivery, so the full codec path is exercised and traffic volume can
+// be accounted (the paper's Appendix D reasons about scan data volume).
+type MemNetwork struct {
+	mu       sync.RWMutex
+	hosts    map[netip.Addr]Handler
+	prefixes []prefixRoute
+
+	// Latency is the simulated one-way delay applied twice per
+	// exchange. Zero disables the wait entirely (tests run at full
+	// speed); the delay only matters when a context deadline is short.
+	Latency time.Duration
+	// LossRate drops queries with this probability, surfacing as
+	// ErrTimeout. Deterministic under the seeded rng.
+	LossRate float64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	queries  atomic.Int64
+	bytesOut atomic.Int64 // query bytes
+	bytesIn  atomic.Int64 // response bytes
+}
+
+type prefixRoute struct {
+	prefix  netip.Prefix
+	handler Handler
+}
+
+// NewMemNetwork returns an empty network. seed controls loss
+// determinism.
+func NewMemNetwork(seed int64) *MemNetwork {
+	return &MemNetwork{
+		hosts: make(map[netip.Addr]Handler),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register binds handler to a single IP address.
+func (n *MemNetwork) Register(addr netip.Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[addr] = h
+}
+
+// RegisterPrefix binds handler to every address within prefix; used to
+// model anycast pools where "almost any IP address originated by them
+// will respond to DNS queries" (paper §3 on Cloudflare).
+func (n *MemNetwork) RegisterPrefix(p netip.Prefix, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.prefixes = append(n.prefixes, prefixRoute{prefix: p, handler: h})
+}
+
+// Unregister removes a single-address binding.
+func (n *MemNetwork) Unregister(addr netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.hosts, addr)
+}
+
+func (n *MemNetwork) route(addr netip.Addr) (Handler, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if h, ok := n.hosts[addr]; ok {
+		return h, true
+	}
+	for _, pr := range n.prefixes {
+		if pr.prefix.Contains(addr) {
+			return pr.handler, true
+		}
+	}
+	return nil, false
+}
+
+func (n *MemNetwork) dropped() bool {
+	if n.LossRate <= 0 {
+		return false
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64() < n.LossRate
+}
+
+// Exchange implements Exchanger. The query is packed, routed, handled
+// and the response packed with the client's advertised UDP size; a
+// truncated response is transparently retried without the size limit,
+// modelling TCP fallback.
+func (n *MemNetwork) Exchange(ctx context.Context, server netip.AddrPort, query *dnswire.Message) (*dnswire.Message, error) {
+	h, ok := n.route(server.Addr())
+	if !ok {
+		return nil, ErrUnreachable
+	}
+	if n.dropped() {
+		return nil, ErrTimeout
+	}
+	if err := n.delay(ctx); err != nil {
+		return nil, err
+	}
+
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, err
+	}
+	n.queries.Add(1)
+	n.bytesOut.Add(int64(len(wire)))
+
+	parsed, err := dnswire.Unpack(wire)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.HandleDNS(ctx, server.Addr(), parsed)
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		return nil, ErrTimeout // server silently dropped the query
+	}
+
+	limit := 512
+	if e, ok := query.GetEDNS(); ok {
+		limit = int(e.UDPSize)
+	}
+	respWire, err := resp.PackTruncating(limit)
+	if err != nil {
+		return nil, err
+	}
+	out, err := dnswire.Unpack(respWire)
+	if err != nil {
+		return nil, err
+	}
+	if out.Truncated {
+		// TCP retry: no size limit, second round trip.
+		if n.dropped() {
+			return nil, ErrTimeout
+		}
+		if err := n.delay(ctx); err != nil {
+			return nil, err
+		}
+		n.queries.Add(1)
+		n.bytesOut.Add(int64(len(wire)))
+		respWire, err = resp.Pack()
+		if err != nil {
+			return nil, err
+		}
+		out, err = dnswire.Unpack(respWire)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n.bytesIn.Add(int64(len(respWire)))
+	return out, nil
+}
+
+func (n *MemNetwork) delay(ctx context.Context) error {
+	if n.Latency <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(2 * n.Latency)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ErrTimeout
+	case <-t.C:
+		return nil
+	}
+}
+
+// Stats reports traffic counters since creation.
+func (n *MemNetwork) Stats() (queries, bytesOut, bytesIn int64) {
+	return n.queries.Load(), n.bytesOut.Load(), n.bytesIn.Load()
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *MemNetwork) ResetStats() {
+	n.queries.Store(0)
+	n.bytesOut.Store(0)
+	n.bytesIn.Store(0)
+}

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"dnssecboot/internal/dnswire"
+)
+
+// Client is an Exchanger speaking real UDP with automatic TCP fallback
+// on truncation (RFC 7766). It verifies response IDs and re-sends on
+// timeout up to Retries times.
+type Client struct {
+	// Timeout bounds each individual network attempt. Zero means 3s.
+	Timeout time.Duration
+	// Retries is the number of additional UDP attempts after the first.
+	Retries int
+	// Dialer optionally overrides connection establishment (tests).
+	Dialer net.Dialer
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 3 * time.Second
+	}
+	return c.Timeout
+}
+
+// Exchange implements Exchanger over the real network.
+func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, query *dnswire.Message) (*dnswire.Message, error) {
+	if query.ID == 0 {
+		var b [2]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, err
+		}
+		query.ID = binary.BigEndian.Uint16(b[:])
+	}
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		resp, err := c.exchangeUDP(ctx, server, query.ID, wire)
+		if err != nil {
+			lastErr = err
+			if isTimeout(err) {
+				continue
+			}
+			return nil, err
+		}
+		if resp.Truncated {
+			return c.exchangeTCP(ctx, server, query.ID, wire)
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrTimeout
+	}
+	return nil, lastErr
+}
+
+func (c *Client) exchangeUDP(ctx context.Context, server netip.AddrPort, id uint16, wire []byte) (*dnswire.Message, error) {
+	dctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	conn, err := c.Dialer.DialContext(dctx, "udp", server.String())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.timeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65535)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			if isTimeout(err) {
+				return nil, ErrTimeout
+			}
+			return nil, err
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep listening until deadline
+		}
+		if resp.ID != id {
+			continue // stray response
+		}
+		return resp, nil
+	}
+}
+
+func (c *Client) exchangeTCP(ctx context.Context, server netip.AddrPort, id uint16, wire []byte) (*dnswire.Message, error) {
+	dctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	conn, err := c.Dialer.DialContext(dctx, "tcp", server.String())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.timeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+	if err := WriteTCPMessage(conn, wire); err != nil {
+		return nil, err
+	}
+	respWire, err := ReadTCPMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := dnswire.Unpack(respWire)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != id {
+		return nil, fmt.Errorf("transport: TCP response ID %d != %d", resp.ID, id)
+	}
+	return resp, nil
+}
+
+// WriteTCPMessage writes one DNS message with the RFC 1035 §4.2.2
+// two-octet length prefix.
+func WriteTCPMessage(w io.Writer, wire []byte) error {
+	if len(wire) > dnswire.MaxMessageSize {
+		return fmt.Errorf("transport: message of %d bytes exceeds TCP limit", len(wire))
+	}
+	hdr := [2]byte{byte(len(wire) >> 8), byte(len(wire))}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(wire)
+	return err
+}
+
+// ReadTCPMessage reads one length-prefixed DNS message.
+func ReadTCPMessage(r io.Reader) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<8 | int(hdr[1])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func isTimeout(err error) bool {
+	if err == ErrTimeout || os.IsTimeout(err) {
+		return true
+	}
+	var ne net.Error
+	if ok := asNetError(err, &ne); ok {
+		return ne.Timeout()
+	}
+	return false
+}
+
+func asNetError(err error, target *net.Error) bool {
+	for err != nil {
+		if ne, ok := err.(net.Error); ok {
+			*target = ne
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

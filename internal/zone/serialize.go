@@ -1,0 +1,43 @@
+package zone
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTo serialises the zone in master-file form: $ORIGIN and $TTL
+// headers, SOA first, then all records grouped by owner in canonical
+// order. The output round-trips through Parse.
+func (z *Zone) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if err := emit("$ORIGIN %s\n$TTL 3600\n", z.Origin); err != nil {
+		return total, err
+	}
+	if soa := z.SOA(); soa != nil {
+		if err := emit("%s\n", soa.String()); err != nil {
+			return total, err
+		}
+	}
+	for _, rr := range z.All() {
+		if rr.Type().String() == "SOA" {
+			continue // already emitted first
+		}
+		if err := emit("%s\n", rr.String()); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Text returns the master-file serialisation as a string.
+func (z *Zone) Text() string {
+	var sb strings.Builder
+	_, _ = z.WriteTo(&sb)
+	return sb.String()
+}
