@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all test race fuzz-smoke bench-smoke build
+
+all: test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: vet plus the full test suite (includes the chaos
+# regression suite in internal/scan).
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# The chaos and concurrency paths under the race detector.
+race:
+	$(GO) test -race ./...
+
+# 30 seconds of coverage-guided fuzzing per target; the checked-in
+# corpora under testdata/fuzz/ replay as ordinary tests in `make test`.
+fuzz-smoke:
+	$(GO) test ./internal/dnswire/ -fuzz FuzzUnpack -fuzztime 30s
+	$(GO) test ./internal/zone/ -fuzz FuzzParseZone -fuzztime 30s
+
+# One iteration of every benchmark — checks they still run, not their
+# numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

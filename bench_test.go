@@ -189,6 +189,37 @@ func BenchmarkScanThroughput(b *testing.B) {
 	b.ReportMetric(float64(len(targets))*float64(b.N)/b.Elapsed().Seconds(), "zones/s")
 }
 
+// BenchmarkScanLossy measures scan throughput under 5 % injected
+// packet loss with the retry policy absorbing the drops — the cost of
+// resilience relative to BenchmarkScanThroughput. It generates its own
+// world: installing a fault profile on the shared benchStudy network
+// would leak loss into every other benchmark.
+func BenchmarkScanLossy(b *testing.B) {
+	world, err := ecosystem.Generate(ecosystem.Config{Seed: 1, ScaleDivisor: *benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scanner := core.NewScanner(world, core.Options{
+		Seed:          1,
+		Concurrency:   16,
+		LossRate:      0.05,
+		RetryAttempts: 4,
+		ChaosSeed:     1,
+	})
+	targets := world.Targets
+	if len(targets) > 512 {
+		targets = targets[:512]
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanner.ScanAll(ctx, targets)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(targets))*float64(b.N)/b.Elapsed().Seconds(), "zones/s")
+	b.ReportMetric(float64(scanner.Validator().R.Retries())/float64(b.N), "retries/op")
+}
+
 // BenchmarkWorldGeneration measures ecosystem construction.
 func BenchmarkWorldGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -39,8 +39,14 @@ func main() {
 		dump         = flag.String("dump", "", "write raw observations as JSON lines to this file")
 		year         = flag.Int("year", 0, "generate a historical epoch instead of the 2025 population (e.g. 2017)")
 		csvDir       = flag.String("csv-dir", "", "also write table1/2/3 + figure1 as CSV files into this directory")
+		loss         = flag.Float64("loss", 0, "inject this packet-loss probability on every simulated exchange (e.g. 0.02)")
+		retries      = flag.Int("retries", 1, "query attempts per server for transient failures (1 = no retries)")
+		chaosSeed    = flag.Int64("chaos-seed", 0, "seed for fault-injection and retry jitter (0 = use -seed)")
 	)
 	flag.Parse()
+	if *loss > 0 && *retries <= 1 {
+		fmt.Fprintln(os.Stderr, "warning: -loss without -retries > 1 will misclassify zones on dropped packets")
+	}
 
 	genStart := time.Now()
 	gcfg := ecosystem.Config{Seed: *seed, ScaleDivisor: *scale}
@@ -63,6 +69,9 @@ func main() {
 		DisableSignalProbes:   *noSignals,
 		MaxZones:              *maxZones,
 		QueriesPerSecondPerNS: *rate,
+		LossRate:              *loss,
+		RetryAttempts:         *retries,
+		ChaosSeed:             *chaosSeed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scan:", err)

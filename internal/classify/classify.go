@@ -161,8 +161,11 @@ type Result struct {
 	CDS      CDSInfo
 	Bucket   Potential
 	Signal   SignalInfo
-	// Queries is carried over from the observation (Appendix D).
+	// Queries, Retries and GaveUp are carried over from the observation
+	// (Appendix D accounting plus the resilience counters).
 	Queries int64
+	Retries int64
+	GaveUp  int64
 }
 
 // Classifier holds shared configuration.
@@ -180,7 +183,7 @@ func New(now time.Time) *Classifier {
 
 // Classify processes one observation.
 func (c *Classifier) Classify(obs *scan.ZoneObservation) *Result {
-	r := &Result{Zone: obs.Zone, Queries: obs.Queries}
+	r := &Result{Zone: obs.Zone, Queries: obs.Queries, Retries: obs.Retries, GaveUp: obs.GaveUp}
 	if obs.ResolveErr != "" {
 		r.Status = StatusUnresolved
 		return r

@@ -20,6 +20,7 @@ import (
 	"dnssecboot/internal/report"
 	"dnssecboot/internal/resolver"
 	"dnssecboot/internal/scan"
+	"dnssecboot/internal/transport"
 )
 
 // Options configure a full study run.
@@ -45,6 +46,22 @@ type Options struct {
 	MaxZones int
 	// World reuses an existing ecosystem instead of generating one.
 	World *ecosystem.Ecosystem
+
+	// LossRate injects uniform packet loss into the simulated network
+	// (every address without a more specific fault profile), driven
+	// deterministically by ChaosSeed.
+	LossRate float64
+	// ChaosSeed seeds the fault-injection decisions; zero falls back to
+	// Seed so a study stays fully determined by its options.
+	ChaosSeed int64
+	// RetryAttempts is the total number of tries per server for
+	// transient failures (timeouts, SERVFAIL); values < 2 disable
+	// retries (the seed pipeline's single-shot behaviour).
+	RetryAttempts int
+	// RetryBackoff is the base pause before the first retry, doubling
+	// per attempt. Zero retries immediately — the right choice against
+	// the zero-latency in-memory network.
+	RetryBackoff time.Duration
 }
 
 // Study is the outcome of a run.
@@ -63,13 +80,33 @@ type Study struct {
 }
 
 // NewScanner builds a scanner wired to a world, with the paper's
-// methodology defaults (Cloudflare sampling at 5 % full scans).
+// methodology defaults (Cloudflare sampling at 5 % full scans). When
+// opts request chaos (LossRate) the world's network is configured with
+// the matching fault profile as a side effect.
 func NewScanner(world *ecosystem.Ecosystem, opts Options) *scan.Scanner {
 	r := &resolver.Resolver{Net: world.Net, Roots: world.Roots}
 	if opts.QueriesPerSecondPerNS > 0 {
 		r.Limits = rate.NewPerKey(opts.QueriesPerSecondPerNS, int(opts.QueriesPerSecondPerNS))
 	}
+	chaosSeed := opts.ChaosSeed
+	if chaosSeed == 0 {
+		chaosSeed = opts.Seed
+	}
+	if opts.LossRate > 0 {
+		world.Net.SetChaosSeed(chaosSeed)
+		world.Net.SetDefaultFault(transport.FaultProfile{Loss: opts.LossRate})
+	}
+	var retry *resolver.RetryPolicy
+	if opts.RetryAttempts > 1 {
+		retry = &resolver.RetryPolicy{
+			Attempts:    opts.RetryAttempts,
+			BaseBackoff: opts.RetryBackoff,
+			Jitter:      0.5,
+			Seed:        chaosSeed,
+		}
+	}
 	return scan.New(scan.Config{
+		Retry: retry,
 		Resolver:             r,
 		Now:                  world.Now,
 		Concurrency:          opts.Concurrency,

@@ -59,6 +59,11 @@ type Aggregate struct {
 	CDSBadSig         int // invalid signatures over in-zone CDS (islands)
 
 	Queries int64
+	// Retries and GaveUp roll up the resilience counters: retry
+	// attempts after transient failures and exchanges that exhausted
+	// every attempt (loss-tolerance accounting for E-chaos).
+	Retries int64
+	GaveUp  int64
 }
 
 // Build aggregates classification results.
@@ -71,6 +76,8 @@ func Build(results []*classify.Result) *Aggregate {
 	for _, r := range results {
 		a.Total++
 		a.Queries += r.Queries
+		a.Retries += r.Retries
+		a.GaveUp += r.GaveUp
 		if r.Status == classify.StatusUnresolved {
 			a.Unresolved++
 			continue
@@ -368,11 +375,24 @@ func (a *Aggregate) CDSFindings() string {
 	return b.String()
 }
 
-// QueryStats renders the Appendix-D accounting.
+// QueryStats renders the Appendix-D accounting, including the retry
+// counters when a resilience policy was active.
 func (a *Aggregate) QueryStats() string {
 	avg := 0.0
 	if a.Total > 0 {
 		avg = float64(a.Queries) / float64(a.Total)
 	}
-	return fmt.Sprintf("scan issued %d DNS queries over %d zones (%.1f queries/zone)", a.Queries, a.Total, avg)
+	s := fmt.Sprintf("scan issued %d DNS queries over %d zones (%.1f queries/zone)", a.Queries, a.Total, avg)
+	if a.Retries > 0 || a.GaveUp > 0 {
+		s += fmt.Sprintf("; %d retries (%.2f%% of queries), %d exchanges gave up",
+			a.Retries, pct64(a.Retries, a.Queries), a.GaveUp)
+	}
+	return s
+}
+
+func pct64(n, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
 }

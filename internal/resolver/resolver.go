@@ -42,8 +42,14 @@ type Resolver struct {
 	// address records (zero means 53). Setting it lets whole worlds run
 	// on unprivileged loopback ports.
 	DefaultPort uint16
+	// Retry, when non-nil, retries transient failures (timeouts,
+	// SERVFAIL) per server with backoff. Nil means one attempt.
+	Retry *RetryPolicy
 
 	queries atomic.Int64
+	retries atomic.Int64
+	gaveUp  atomic.Int64
+	health  healthTracker
 
 	mu        sync.RWMutex
 	zoneCache map[string][]netip.AddrPort // zone apex -> authoritative addrs
@@ -54,15 +60,16 @@ type Resolver struct {
 // Queries returns the number of DNS queries issued so far.
 func (r *Resolver) Queries() int64 { return r.queries.Load() }
 
-type queryCounterKey struct{}
+// Retries returns the number of retry attempts issued so far.
+func (r *Resolver) Retries() int64 { return r.retries.Load() }
 
-// WithQueryCounter returns a context whose queries through this
-// resolver are additionally counted into the returned counter. Used by
-// the scanner for accurate per-zone accounting under concurrency.
-func WithQueryCounter(ctx context.Context) (context.Context, *atomic.Int64) {
-	c := new(atomic.Int64)
-	return context.WithValue(ctx, queryCounterKey{}, c), c
-}
+// GaveUp returns the number of exchanges that exhausted every retry
+// attempt without a usable answer.
+func (r *Resolver) GaveUp() int64 { return r.gaveUp.Load() }
+
+// ServerTripped reports whether the health tracker currently
+// deprioritises the address (circuit breaker open).
+func (r *Resolver) ServerTripped(server netip.AddrPort) bool { return r.health.tripped(server) }
 
 // Port returns the server port used for NS-derived addresses.
 func (r *Resolver) Port() uint16 {
@@ -77,23 +84,6 @@ func (r *Resolver) maxDepth() int {
 		return 16
 	}
 	return r.MaxDepth
-}
-
-// Exchange sends one query with EDNS+DO to server, applying rate limits
-// and counting.
-func (r *Resolver) Exchange(ctx context.Context, server netip.AddrPort, name string, qtype dnswire.Type) (*dnswire.Message, error) {
-	if r.Limits != nil {
-		if err := r.Limits.Get(server.Addr().String()).Wait(ctx); err != nil {
-			return nil, err
-		}
-	}
-	q := dnswire.NewQuery(nextID(), name, qtype)
-	q.SetEDNS(dnswire.EDNS{UDPSize: dnswire.MaxUDPPayload, DO: true})
-	r.queries.Add(1)
-	if c, ok := ctx.Value(queryCounterKey{}).(*atomic.Int64); ok {
-		c.Add(1)
-	}
-	return r.Net.Exchange(ctx, server, q)
 }
 
 var idCounter atomic.Uint32
@@ -301,25 +291,28 @@ func (r *Resolver) serversForDelegation(ctx context.Context, d *Delegation) ([]n
 	return out, nil
 }
 
-// queryAny tries servers in order until one responds.
+// queryAny tries servers until one responds, healthy addresses first
+// (the circuit breaker deprioritises — never skips — tripped servers).
+// On total failure the per-server errors are joined, so callers can
+// tell "all timed out" from "all answered SERVFAIL" with errors.Is.
 func (r *Resolver) queryAny(ctx context.Context, servers []netip.AddrPort, name string, qtype dnswire.Type) (*dnswire.Message, netip.AddrPort, error) {
 	if len(servers) == 0 {
 		return nil, netip.AddrPort{}, ErrNoServers
 	}
-	var lastErr error
-	for _, s := range servers {
+	var errs []error
+	for _, s := range r.health.order(servers) {
 		resp, err := r.Exchange(ctx, s, name, qtype)
 		if err != nil {
-			lastErr = err
+			errs = append(errs, err)
 			continue
 		}
 		if resp.Rcode == dnswire.RcodeServFail {
-			lastErr = fmt.Errorf("resolver: SERVFAIL from %s", s)
+			errs = append(errs, fmt.Errorf("%s: %w", s, ErrServFail))
 			continue
 		}
 		return resp, s, nil
 	}
-	return nil, netip.AddrPort{}, fmt.Errorf("%w: %v", ErrNoServers, lastErr)
+	return nil, netip.AddrPort{}, fmt.Errorf("%w: %w", ErrNoServers, errors.Join(errs...))
 }
 
 func (r *Resolver) cacheZone(zoneName string, servers []netip.AddrPort) {

@@ -1,0 +1,291 @@
+// Retry policy and per-server health tracking. ZDNS-style scanners owe
+// their measurement fidelity to exactly this machinery: a single
+// dropped UDP datagram must not misclassify a zone, so transient
+// failures (timeouts, SERVFAIL) are retried with capped exponential
+// backoff, while hard failures (unreachable, NXDOMAIN answers) are
+// surfaced immediately. Backoff jitter is derived deterministically
+// from a seed so that simulation runs are reproducible.
+package resolver
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/transport"
+)
+
+// ErrServFail marks a SERVFAIL answer treated as a failure. queryAny
+// wraps it so callers can distinguish "all servers timed out" from
+// "all servers answered SERVFAIL" via errors.Is.
+var ErrServFail = errors.New("resolver: SERVFAIL")
+
+// RetryPolicy configures how Exchange handles transient failures.
+// The zero value (and a nil policy) means a single attempt.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per server (minimum 1).
+	Attempts int
+	// BaseBackoff is the pause before the first retry; it doubles on
+	// every further retry. Zero retries immediately (the right choice
+	// against the in-memory simulation).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (zero: 30×BaseBackoff).
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each individual attempt; zero inherits the
+	// caller's context deadline unchanged.
+	AttemptTimeout time.Duration
+	// Jitter is the fraction of each backoff randomised away (0..1),
+	// drawn deterministically from Seed.
+	Jitter float64
+	// Seed drives the deterministic jitter.
+	Seed int64
+}
+
+func (p *RetryPolicy) attempts() int {
+	if p == nil || p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// backoffFor computes the pause before retry number attempt (1-based)
+// of the given query, deterministic in (Seed, server, name, attempt).
+func (p *RetryPolicy) backoffFor(server netip.AddrPort, name string, attempt int) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 30 * p.BaseBackoff
+	}
+	d := p.BaseBackoff << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	if p.Jitter > 0 {
+		h := fnv.New64a()
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(p.Seed))
+		h.Write(b[:])
+		h.Write([]byte(server.String()))
+		h.Write([]byte(name))
+		binary.BigEndian.PutUint64(b[:], uint64(attempt))
+		h.Write(b[:])
+		frac := float64(h.Sum64()>>11) / float64(1<<53)
+		d = time.Duration(float64(d) * (1 - p.Jitter*frac))
+	}
+	return d
+}
+
+// sleep pauses for the attempt's backoff, honouring ctx cancellation.
+func (p *RetryPolicy) sleep(ctx context.Context, server netip.AddrPort, name string, attempt int) error {
+	d := p.backoffFor(server, name, attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// transientError reports whether err is worth retrying: timeouts are,
+// hard unreachability and context cancellation are not.
+func transientError(err error) bool {
+	return errors.Is(err, transport.ErrTimeout)
+}
+
+// QueryStats accumulates per-scope query accounting. A pointer travels
+// in the context (WithQueryStats) so concurrent zone scans attribute
+// traffic to the right zone.
+type QueryStats struct {
+	// Queries counts wire queries issued (every attempt counts).
+	Queries atomic.Int64
+	// Retries counts attempts beyond the first per exchange.
+	Retries atomic.Int64
+	// GaveUp counts exchanges that exhausted every attempt without a
+	// usable answer.
+	GaveUp atomic.Int64
+}
+
+type queryStatsKey struct{}
+
+// WithQueryStats returns a context whose queries through this resolver
+// are additionally accounted into the returned stats. Used by the
+// scanner for accurate per-zone accounting under concurrency.
+func WithQueryStats(ctx context.Context) (context.Context, *QueryStats) {
+	s := new(QueryStats)
+	return context.WithValue(ctx, queryStatsKey{}, s), s
+}
+
+func statsFrom(ctx context.Context) *QueryStats {
+	s, _ := ctx.Value(queryStatsKey{}).(*QueryStats)
+	return s
+}
+
+// healthTracker is a per-server-address circuit breaker: servers that
+// fail repeatedly in a row are deprioritised (tried last), never
+// blacklisted — one successful exchange restores full standing. This
+// keeps scans off dead or rate-limiting servers without ever giving up
+// on an address that recovers mid-run.
+type healthTracker struct {
+	mu sync.Mutex
+	m  map[netip.AddrPort]*serverHealth
+}
+
+type serverHealth struct {
+	consecutive int   // consecutive transient failures
+	failures    int64 // lifetime failures (metrics)
+	successes   int64
+}
+
+func (h *healthTracker) note(server netip.AddrPort, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.m == nil {
+		h.m = make(map[netip.AddrPort]*serverHealth)
+	}
+	s := h.m[server]
+	if s == nil {
+		s = &serverHealth{}
+		h.m[server] = s
+	}
+	if ok {
+		s.consecutive = 0
+		s.successes++
+	} else {
+		s.consecutive++
+		s.failures++
+	}
+}
+
+// trippedAfter is the consecutive-failure count that deprioritises a
+// server.
+const trippedAfter = 5
+
+func (h *healthTracker) tripped(server netip.AddrPort) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.m[server]
+	return s != nil && s.consecutive >= trippedAfter
+}
+
+// order returns servers with healthy addresses first, preserving the
+// input order within each group (a stable partition, so resolution
+// stays deterministic).
+func (h *healthTracker) order(servers []netip.AddrPort) []netip.AddrPort {
+	h.mu.Lock()
+	anyTripped := false
+	for _, s := range servers {
+		if st := h.m[s]; st != nil && st.consecutive >= trippedAfter {
+			anyTripped = true
+			break
+		}
+	}
+	if !anyTripped {
+		h.mu.Unlock()
+		return servers
+	}
+	tripped := make(map[netip.AddrPort]bool, len(servers))
+	for _, s := range servers {
+		if st := h.m[s]; st != nil && st.consecutive >= trippedAfter {
+			tripped[s] = true
+		}
+	}
+	h.mu.Unlock()
+	out := append([]netip.AddrPort(nil), servers...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return !tripped[out[i]] && tripped[out[j]]
+	})
+	return out
+}
+
+// Exchange sends one query with EDNS+DO to server, applying rate
+// limits, retry policy and counting. Transient failures (timeouts and
+// SERVFAIL answers) are retried per the policy; after exhausting all
+// attempts the final SERVFAIL response (if any) is returned as-is so
+// callers still observe the rcode, while pure timeouts surface as a
+// joined error.
+func (r *Resolver) Exchange(ctx context.Context, server netip.AddrPort, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	attempts := r.Retry.attempts()
+	var errs []error
+	var lastServFail *dnswire.Message
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			if st := statsFrom(ctx); st != nil {
+				st.Retries.Add(1)
+			}
+			if err := r.Retry.sleep(ctx, server, name, attempt); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := r.exchangeOnce(ctx, server, name, qtype)
+		switch {
+		case err == nil && resp.Rcode == dnswire.RcodeServFail:
+			r.health.note(server, false)
+			lastServFail = resp
+			errs = append(errs, fmt.Errorf("%s: %w", server, ErrServFail))
+		case err != nil && transientError(err):
+			r.health.note(server, false)
+			lastServFail = nil
+			errs = append(errs, fmt.Errorf("%s: %w", server, err))
+		case err != nil:
+			// Hard failure: retrying cannot help.
+			r.health.note(server, false)
+			return nil, err
+		default:
+			r.health.note(server, true)
+			return resp, nil
+		}
+	}
+	if attempts > 1 {
+		r.gaveUp.Add(1)
+		if st := statsFrom(ctx); st != nil {
+			st.GaveUp.Add(1)
+		}
+	}
+	if lastServFail != nil {
+		return lastServFail, nil
+	}
+	return nil, errors.Join(errs...)
+}
+
+// exchangeOnce performs a single attempt: rate limit, fresh query ID,
+// counting, optional per-attempt timeout.
+func (r *Resolver) exchangeOnce(ctx context.Context, server netip.AddrPort, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	if r.Limits != nil {
+		if err := r.Limits.Get(server.Addr().String()).Wait(ctx); err != nil {
+			return nil, err
+		}
+	}
+	q := dnswire.NewQuery(nextID(), name, qtype)
+	q.SetEDNS(dnswire.EDNS{UDPSize: dnswire.MaxUDPPayload, DO: true})
+	r.queries.Add(1)
+	if st := statsFrom(ctx); st != nil {
+		st.Queries.Add(1)
+	}
+	if r.Retry != nil && r.Retry.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Retry.AttemptTimeout)
+		defer cancel()
+	}
+	resp, err := r.Net.Exchange(ctx, server, q)
+	if err != nil && ctx.Err() != nil && errors.Is(err, context.DeadlineExceeded) {
+		// A blown per-attempt budget is a timeout like any other.
+		err = fmt.Errorf("%w: %v", transport.ErrTimeout, err)
+	}
+	return resp, err
+}

@@ -32,6 +32,8 @@ type ObservationJSON struct {
 	ChainErr   string   `json:"chain_err,omitempty"`
 	SampledNS  bool     `json:"sampled_ns,omitempty"`
 	Queries    int64    `json:"queries"`
+	Retries    int64    `json:"retries,omitempty"`
+	GaveUp     int64    `json:"gave_up,omitempty"`
 
 	PerNS   []NSObservationJSON     `json:"per_ns,omitempty"`
 	Signals []SignalObservationJSON `json:"signals,omitempty"`
@@ -89,6 +91,8 @@ func (z *ZoneObservation) ToJSON() ObservationJSON {
 		ChainErr:   z.ChainErr,
 		SampledNS:  z.SampledNS,
 		Queries:    z.Queries,
+		Retries:    z.Retries,
+		GaveUp:     z.GaveUp,
 	}
 	for _, ns := range z.PerNS {
 		out.PerNS = append(out.PerNS, NSObservationJSON{
@@ -159,6 +163,8 @@ func FromJSON(o ObservationJSON) (*ZoneObservation, error) {
 		ChainErr:   o.ChainErr,
 		SampledNS:  o.SampledNS,
 		Queries:    o.Queries,
+		Retries:    o.Retries,
+		GaveUp:     o.GaveUp,
 	}
 	var err error
 	if obs.DS, err = parseRRs(o.DS); err != nil {

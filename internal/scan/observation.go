@@ -148,8 +148,14 @@ type ZoneObservation struct {
 	Signals []SignalObservation
 
 	// Queries is the number of DNS queries this zone's scan consumed
-	// (Appendix D accounting).
+	// (Appendix D accounting), including retry attempts.
 	Queries int64
+	// Retries is how many of those queries were retry attempts after a
+	// transient failure; GaveUp counts exchanges that exhausted every
+	// attempt. Both stay zero when the resolver runs without a retry
+	// policy.
+	Retries int64
+	GaveUp  int64
 }
 
 // AllNSHosts returns the union of parent- and child-side NS hostnames.

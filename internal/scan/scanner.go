@@ -42,6 +42,11 @@ type Config struct {
 	TrustAnchor []dnswire.RR
 	// Seed makes sampling decisions deterministic.
 	Seed int64
+	// Retry, when non-nil, is installed on the Resolver so every scan
+	// query retries transient failures (timeouts, SERVFAIL) — the
+	// resilience a lossy network demands. Nil leaves the Resolver's own
+	// policy (possibly none) in place.
+	Retry *resolver.RetryPolicy
 }
 
 // Scanner runs measurement scans.
@@ -57,6 +62,9 @@ func New(cfg Config) *Scanner {
 	}
 	if cfg.Now.IsZero() {
 		cfg.Now = time.Now()
+	}
+	if cfg.Retry != nil && cfg.Resolver != nil {
+		cfg.Resolver.Retry = cfg.Retry
 	}
 	return &Scanner{
 		cfg: cfg,
@@ -90,8 +98,12 @@ func (s *Scanner) ScanAll(ctx context.Context, zones []string) []*ZoneObservatio
 func (s *Scanner) ScanZone(ctx context.Context, zoneName string) *ZoneObservation {
 	zoneName = dnswire.CanonicalName(zoneName)
 	obs := &ZoneObservation{Zone: zoneName}
-	ctx, counter := resolver.WithQueryCounter(ctx)
-	defer func() { obs.Queries = counter.Load() }()
+	ctx, stats := resolver.WithQueryStats(ctx)
+	defer func() {
+		obs.Queries = stats.Queries.Load()
+		obs.Retries = stats.Retries.Load()
+		obs.GaveUp = stats.GaveUp.Load()
+	}()
 
 	d, err := s.cfg.Resolver.Delegation(ctx, zoneName)
 	if err != nil {

@@ -27,8 +27,14 @@ type MemNetwork struct {
 	// speed); the delay only matters when a context deadline is short.
 	Latency time.Duration
 	// LossRate drops queries with this probability, surfacing as
-	// ErrTimeout. Deterministic under the seeded rng.
+	// ErrTimeout. Deterministic under the seeded rng (but, unlike the
+	// fault profiles below, dependent on global draw order — prefer
+	// SetDefaultFault for reproducible chaos under concurrency).
 	LossRate float64
+
+	// faults holds the scriptable fault-injection layer (per-address,
+	// per-prefix and default profiles; see fault.go).
+	faults faultState
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -47,8 +53,9 @@ type prefixRoute struct {
 // determinism.
 func NewMemNetwork(seed int64) *MemNetwork {
 	return &MemNetwork{
-		hosts: make(map[netip.Addr]Handler),
-		rng:   rand.New(rand.NewSource(seed)),
+		hosts:  make(map[netip.Addr]Handler),
+		rng:    rand.New(rand.NewSource(seed)),
+		faults: faultState{seed: seed},
 	}
 }
 
@@ -107,10 +114,14 @@ func (n *MemNetwork) Exchange(ctx context.Context, server netip.AddrPort, query 
 	if !ok {
 		return nil, ErrUnreachable
 	}
-	if n.dropped() {
+	plan := n.faults.plan(server.Addr(), query)
+	if plan.down {
+		return nil, ErrUnreachable
+	}
+	if plan.drop || n.dropped() {
 		return nil, ErrTimeout
 	}
-	if err := n.delay(ctx); err != nil {
+	if err := n.delay(ctx, plan.extraLatency); err != nil {
 		return nil, err
 	}
 
@@ -125,9 +136,14 @@ func (n *MemNetwork) Exchange(ctx context.Context, server netip.AddrPort, query 
 	if err != nil {
 		return nil, err
 	}
-	resp, err := h.HandleDNS(ctx, server.Addr(), parsed)
-	if err != nil {
-		return nil, err
+	var resp *dnswire.Message
+	if plan.servFail {
+		resp = &dnswire.Message{ID: parsed.ID, Response: true, Rcode: dnswire.RcodeServFail, Question: parsed.Question}
+	} else {
+		resp, err = h.HandleDNS(ctx, server.Addr(), parsed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if resp == nil {
 		return nil, ErrTimeout // server silently dropped the query
@@ -136,6 +152,9 @@ func (n *MemNetwork) Exchange(ctx context.Context, server netip.AddrPort, query 
 	limit := 512
 	if e, ok := query.GetEDNS(); ok {
 		limit = int(e.UDPSize)
+	}
+	if plan.truncate {
+		limit = 1 // every response exceeds this → forced TC + TCP retry
 	}
 	respWire, err := resp.PackTruncating(limit)
 	if err != nil {
@@ -147,10 +166,10 @@ func (n *MemNetwork) Exchange(ctx context.Context, server netip.AddrPort, query 
 	}
 	if out.Truncated {
 		// TCP retry: no size limit, second round trip.
-		if n.dropped() {
+		if plan.dropTCP || n.dropped() {
 			return nil, ErrTimeout
 		}
-		if err := n.delay(ctx); err != nil {
+		if err := n.delay(ctx, plan.extraLatency); err != nil {
 			return nil, err
 		}
 		n.queries.Add(1)
@@ -168,11 +187,11 @@ func (n *MemNetwork) Exchange(ctx context.Context, server netip.AddrPort, query 
 	return out, nil
 }
 
-func (n *MemNetwork) delay(ctx context.Context) error {
-	if n.Latency <= 0 {
+func (n *MemNetwork) delay(ctx context.Context, extra time.Duration) error {
+	if n.Latency <= 0 && extra <= 0 {
 		return ctx.Err()
 	}
-	t := time.NewTimer(2 * n.Latency)
+	t := time.NewTimer(2*n.Latency + extra)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,42 @@
+package zone
+
+import (
+	"testing"
+)
+
+// FuzzParseZone drives the master-file parser with arbitrary text. The
+// parser must reject garbage with an error, never a panic, and any
+// accepted zone must render back to text without panicking.
+func FuzzParseZone(f *testing.F) {
+	seeds := []string{
+		"",
+		"example.com. 3600 IN SOA ns1.example.com. hostmaster.example.com. 1 7200 3600 1209600 300\n",
+		"$ORIGIN example.com.\n$TTL 3600\n@ IN NS ns1\nns1 IN A 192.0.2.1\n",
+		"www 300 IN A 192.0.2.80\nwww 300 IN AAAA 2001:db8::80\n",
+		"alias IN CNAME www.example.com.\n",
+		"example.com. IN DS 4711 13 2 000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f\n",
+		"example.com. IN DNSKEY 257 3 13 AwEAAa==\n",
+		"example.com. IN TXT \"v=spf1 -all\"\n",
+		"; comment only\n\n\n",
+		"( multi\nline )\n",
+		"$INCLUDE other.zone\n",
+		"\x00\x01\x02",
+		"@ IN NS ns1.example.com.\n@ IN CDS 0 0 0 00\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		z, err := ParseString(text, "example.com.")
+		if err != nil {
+			return
+		}
+		if z == nil {
+			t.Fatal("ParseString returned nil zone with nil error")
+		}
+		// Accepted zones must be walkable without panics.
+		for _, rr := range z.All() {
+			_ = rr.Type()
+		}
+	})
+}
