@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race fuzz-smoke bench-smoke build
+.PHONY: all test race fuzz-smoke bench-smoke build ci
 
 all: test
 
@@ -27,3 +27,12 @@ fuzz-smoke:
 # numbers.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# The full local CI gate: vet, build, the race-enabled test suite
+# (includes the chaos and cache-invariance regressions) and the fuzz
+# smoke.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke

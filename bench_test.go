@@ -35,6 +35,7 @@ import (
 	"dnssecboot/internal/dnswire"
 	"dnssecboot/internal/ecosystem"
 	"dnssecboot/internal/report"
+	"dnssecboot/internal/resolver"
 	"dnssecboot/internal/scan"
 	"dnssecboot/internal/zone"
 )
@@ -218,6 +219,69 @@ func BenchmarkScanLossy(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(len(targets))*float64(b.N)/b.Elapsed().Seconds(), "zones/s")
 	b.ReportMetric(float64(scanner.Validator().R.Retries())/float64(b.N), "retries/op")
+}
+
+// BenchmarkScanCached quantifies the resolver's shared delegation
+// cache. Two ratios are reported against a stateless baseline (a fresh
+// scanner per zone, every zone re-walking the root and re-resolving its
+// NS hosts): resolution_reduction_x covers the layer the cache targets
+// (delegation walks + NS address resolution, ≥2× by design), and
+// reduction_x the end-to-end scan, where the irreducible per-NS
+// measurement probes dilute the ratio. It generates its own world so
+// the shared benchStudy network's counters stay untouched.
+func BenchmarkScanCached(b *testing.B) {
+	world, err := ecosystem.Generate(ecosystem.Config{Seed: 1, ScaleDivisor: *benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := world.Targets
+	if len(targets) > 512 {
+		targets = targets[:512]
+	}
+	ctx := context.Background()
+
+	resolveZone := func(r *resolver.Resolver, zoneName string) {
+		d, err := r.Delegation(ctx, zoneName)
+		if err != nil {
+			return
+		}
+		for _, host := range d.NSHosts() {
+			_, _ = r.AddrsOf(ctx, host)
+		}
+	}
+
+	// Stateless baselines, measured once outside the timer.
+	var statelessScanQ, statelessResQ int64
+	for _, z := range targets {
+		s := core.NewScanner(world, core.Options{Seed: 6, Concurrency: 1, DisableCache: true})
+		statelessScanQ += s.ScanZone(ctx, z).Queries
+		r := &resolver.Resolver{Net: world.Net, Roots: world.Roots}
+		resolveZone(r, z)
+		statelessResQ += r.Queries()
+	}
+	shared := &resolver.Resolver{Net: world.Net, Roots: world.Roots, Cache: resolver.NewCache(0)}
+	for _, z := range targets {
+		resolveZone(shared, z)
+	}
+	cachedResQ := shared.Queries()
+
+	var cachedScanQ int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanner := core.NewScanner(world, core.Options{Seed: 6, Concurrency: 16})
+		cachedScanQ = 0
+		for _, obs := range scanner.ScanAll(ctx, targets) {
+			cachedScanQ += obs.Queries
+		}
+	}
+	b.StopTimer()
+	printArtefact("cache query reduction",
+		fmt.Sprintf("over %d zones:\n  resolution layer: %d cached vs %d stateless (%.1fx)\n  end-to-end scan:  %d cached vs %d stateless (%.2fx)",
+			len(targets), cachedResQ, statelessResQ, float64(statelessResQ)/float64(cachedResQ),
+			cachedScanQ, statelessScanQ, float64(statelessScanQ)/float64(cachedScanQ)))
+	b.ReportMetric(float64(cachedScanQ)/float64(len(targets)), "queries/zone")
+	b.ReportMetric(float64(statelessResQ)/float64(cachedResQ), "resolution_reduction_x")
+	b.ReportMetric(float64(statelessScanQ)/float64(cachedScanQ), "reduction_x")
 }
 
 // BenchmarkWorldGeneration measures ecosystem construction.

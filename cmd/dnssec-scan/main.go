@@ -42,6 +42,8 @@ func main() {
 		loss         = flag.Float64("loss", 0, "inject this packet-loss probability on every simulated exchange (e.g. 0.02)")
 		retries      = flag.Int("retries", 1, "query attempts per server for transient failures (1 = no retries)")
 		chaosSeed    = flag.Int64("chaos-seed", 0, "seed for fault-injection and retry jitter (0 = use -seed)")
+		cache        = flag.Bool("cache", true, "shared delegation cache + singleflight deduplication (false = re-walk the root per zone)")
+		cacheNegTTL  = flag.Duration("cache-neg-ttl", time.Minute, "how long NXDOMAIN/lame results are served from the negative cache")
 	)
 	flag.Parse()
 	if *loss > 0 && *retries <= 1 {
@@ -72,6 +74,8 @@ func main() {
 		LossRate:              *loss,
 		RetryAttempts:         *retries,
 		ChaosSeed:             *chaosSeed,
+		DisableCache:          !*cache,
+		CacheNegTTL:           *cacheNegTTL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scan:", err)

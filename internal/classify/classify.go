@@ -166,6 +166,11 @@ type Result struct {
 	Queries int64
 	Retries int64
 	GaveUp  int64
+	// CacheHits, CacheMisses and Coalesced carry the shared-cache
+	// accounting (zero when the scan ran without a cache).
+	CacheHits   int64
+	CacheMisses int64
+	Coalesced   int64
 }
 
 // Classifier holds shared configuration.
@@ -183,7 +188,10 @@ func New(now time.Time) *Classifier {
 
 // Classify processes one observation.
 func (c *Classifier) Classify(obs *scan.ZoneObservation) *Result {
-	r := &Result{Zone: obs.Zone, Queries: obs.Queries, Retries: obs.Retries, GaveUp: obs.GaveUp}
+	r := &Result{
+		Zone: obs.Zone, Queries: obs.Queries, Retries: obs.Retries, GaveUp: obs.GaveUp,
+		CacheHits: obs.CacheHits, CacheMisses: obs.CacheMisses, Coalesced: obs.Coalesced,
+	}
 	if obs.ResolveErr != "" {
 		r.Status = StatusUnresolved
 		return r

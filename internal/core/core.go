@@ -62,6 +62,14 @@ type Options struct {
 	// per attempt. Zero retries immediately — the right choice against
 	// the zero-latency in-memory network.
 	RetryBackoff time.Duration
+
+	// DisableCache turns off the resolver's shared delegation cache and
+	// singleflight deduplication, restoring the seed pipeline's
+	// re-walk-the-root-per-zone behaviour. The cache is on by default.
+	DisableCache bool
+	// CacheNegTTL bounds how long negative (NXDOMAIN / lame) results
+	// are served from the cache. Zero uses the resolver default (60 s).
+	CacheNegTTL time.Duration
 }
 
 // Study is the outcome of a run.
@@ -85,6 +93,9 @@ type Study struct {
 // the matching fault profile as a side effect.
 func NewScanner(world *ecosystem.Ecosystem, opts Options) *scan.Scanner {
 	r := &resolver.Resolver{Net: world.Net, Roots: world.Roots}
+	if !opts.DisableCache {
+		r.Cache = resolver.NewCache(opts.CacheNegTTL)
+	}
 	if opts.QueriesPerSecondPerNS > 0 {
 		r.Limits = rate.NewPerKey(opts.QueriesPerSecondPerNS, int(opts.QueriesPerSecondPerNS))
 	}
@@ -106,7 +117,7 @@ func NewScanner(world *ecosystem.Ecosystem, opts Options) *scan.Scanner {
 		}
 	}
 	return scan.New(scan.Config{
-		Retry: retry,
+		Retry:                retry,
 		Resolver:             r,
 		Now:                  world.Now,
 		Concurrency:          opts.Concurrency,

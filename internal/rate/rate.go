@@ -22,8 +22,15 @@ type Limiter struct {
 }
 
 // NewLimiter returns a limiter allowing ratePerSec events per second
-// with the given burst. ratePerSec <= 0 means unlimited.
+// with the given burst. ratePerSec <= 0 means unlimited. A burst below
+// 1 is clamped to 1: the refill caps tokens at the burst, so a smaller
+// bucket could never accumulate the single token Wait needs and every
+// caller would block forever (e.g. a fractional q/s rate truncated to
+// a zero burst).
 func NewLimiter(ratePerSec float64, burst int) *Limiter {
+	if ratePerSec > 0 && burst < 1 {
+		burst = 1
+	}
 	l := &Limiter{
 		rate:  ratePerSec,
 		burst: float64(burst),

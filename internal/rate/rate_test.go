@@ -117,3 +117,37 @@ func TestPerKeyIsolation(t *testing.T) {
 		t.Errorf("Len = %d", p.Len())
 	}
 }
+
+// TestZeroBurstClamped pins the burst clamp: a positive rate with a
+// burst below 1 (e.g. a fractional q/s rate truncated to zero when
+// sizing the bucket) used to build a limiter whose refill capped tokens
+// at 0, so Allow never granted and Wait blocked forever.
+func TestZeroBurstClamped(t *testing.T) {
+	l := NewLimiter(100, 0)
+	if !l.Allow() {
+		t.Error("limiter with clamped burst denied its first token")
+	}
+
+	l2 := NewLimiter(1000, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- l2.Wait(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Wait = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait blocked forever on a zero-burst limiter")
+	}
+
+	// Negative bursts clamp the same way.
+	if !NewLimiter(1, -3).Allow() {
+		t.Error("negative burst not clamped")
+	}
+	// rate <= 0 stays unlimited regardless of burst.
+	if !NewLimiter(0, 0).Allow() {
+		t.Error("unlimited limiter denied")
+	}
+}

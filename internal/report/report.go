@@ -64,6 +64,11 @@ type Aggregate struct {
 	// every attempt (loss-tolerance accounting for E-chaos).
 	Retries int64
 	GaveUp  int64
+	// CacheHits, CacheMisses and Coalesced roll up the shared-cache
+	// accounting (E-cache); all zero when the scan ran uncached.
+	CacheHits   int64
+	CacheMisses int64
+	Coalesced   int64
 }
 
 // Build aggregates classification results.
@@ -78,6 +83,9 @@ func Build(results []*classify.Result) *Aggregate {
 		a.Queries += r.Queries
 		a.Retries += r.Retries
 		a.GaveUp += r.GaveUp
+		a.CacheHits += r.CacheHits
+		a.CacheMisses += r.CacheMisses
+		a.Coalesced += r.Coalesced
 		if r.Status == classify.StatusUnresolved {
 			a.Unresolved++
 			continue
@@ -386,6 +394,10 @@ func (a *Aggregate) QueryStats() string {
 	if a.Retries > 0 || a.GaveUp > 0 {
 		s += fmt.Sprintf("; %d retries (%.2f%% of queries), %d exchanges gave up",
 			a.Retries, pct64(a.Retries, a.Queries), a.GaveUp)
+	}
+	if a.CacheHits > 0 || a.CacheMisses > 0 || a.Coalesced > 0 {
+		s += fmt.Sprintf("; cache: %d hits / %d misses (%.1f%% hit rate), %d coalesced lookups",
+			a.CacheHits, a.CacheMisses, pct64(a.CacheHits, a.CacheHits+a.CacheMisses), a.Coalesced)
 	}
 	return s
 }

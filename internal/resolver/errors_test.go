@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/netip"
+	"strings"
 	"testing"
 
 	"dnssecboot/internal/dnswire"
@@ -43,9 +44,29 @@ func TestLookupReferralLoop(t *testing.T) {
 }
 
 func TestMaxDepthBoundsReferralChain(t *testing.T) {
-	r := loopNet(t)
-	r.MaxDepth = 3
-	_, err := r.Delegation(context.Background(), "www.loopy.test.")
+	// A chain that makes genuine downward progress on every step (so
+	// the referral-direction check cannot reject it): query number i is
+	// answered with a referral to the suffix of the qname that is i
+	// labels long, pointing back at the same server. Only MaxDepth can
+	// stop this walk.
+	net := transport.NewMemNetwork(1)
+	addr := netip.MustParseAddr("192.0.2.77")
+	var step int
+	net.Register(addr, transport.HandlerFunc(func(_ context.Context, _ netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+		step++
+		labels := strings.Split(strings.TrimSuffix(dnswire.CanonicalName(q.Question[0].Name), "."), ".")
+		n := step
+		if n > len(labels)-1 {
+			n = len(labels) - 1
+		}
+		cut := strings.Join(labels[len(labels)-n:], ".") + "."
+		m := &dnswire.Message{ID: q.ID, Response: true, Question: q.Question}
+		m.Authority = []dnswire.RR{{Name: cut, Class: dnswire.ClassIN, TTL: 60, Data: dnswire.NewNS("ns." + cut)}}
+		m.Additional = []dnswire.RR{{Name: "ns." + cut, Class: dnswire.ClassIN, TTL: 60, Data: &dnswire.A{Addr: addr}}}
+		return m, nil
+	}))
+	r := &Resolver{Net: net, Roots: []netip.AddrPort{netip.AddrPortFrom(addr, 53)}, MaxDepth: 3}
+	_, err := r.Delegation(context.Background(), "a.b.c.d.e.f.g.h.loopy.test.")
 	if !errors.Is(err, ErrLoop) {
 		t.Fatalf("err = %v, want ErrLoop", err)
 	}
@@ -98,7 +119,7 @@ func TestCacheSurvivesServerOutage(t *testing.T) {
 	if _, _, err := r.Lookup(context.Background(), "www.example.com.", dnswire.TypeA); err != nil {
 		t.Fatalf("priming lookup: %v", err)
 	}
-	if _, ok := r.cachedZone("example.com."); !ok {
+	if _, _, ok := r.cachedZone("example.com."); !ok {
 		t.Fatal("example.com. servers not cached after lookup")
 	}
 

@@ -45,11 +45,23 @@ type Resolver struct {
 	// Retry, when non-nil, retries transient failures (timeouts,
 	// SERVFAIL) per server with backoff. Nil means one attempt.
 	Retry *RetryPolicy
+	// Cache, when non-nil, enables the resolver-wide caching and
+	// singleflight deduplication layer (cache.go): Delegation starts
+	// from the deepest cached ancestor instead of re-walking the root,
+	// NXDOMAIN/lame parents fail fast from the negative cache, and
+	// concurrent identical Delegation/AddrsOf/zone-server walks
+	// coalesce onto one upstream query stream. Nil keeps the historical
+	// per-map caching behaviour.
+	Cache *Cache
 
-	queries atomic.Int64
-	retries atomic.Int64
-	gaveUp  atomic.Int64
-	health  healthTracker
+	queries     atomic.Int64
+	retries     atomic.Int64
+	gaveUp      atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	coalesced   atomic.Int64
+	health      healthTracker
+	flight      flightGroup
 
 	mu        sync.RWMutex
 	zoneCache map[string][]netip.AddrPort // zone apex -> authoritative addrs
@@ -66,6 +78,17 @@ func (r *Resolver) Retries() int64 { return r.retries.Load() }
 // GaveUp returns the number of exchanges that exhausted every retry
 // attempt without a usable answer.
 func (r *Resolver) GaveUp() int64 { return r.gaveUp.Load() }
+
+// CacheHits returns the number of lookups served from the shared cache
+// (zero when Cache is nil).
+func (r *Resolver) CacheHits() int64 { return r.cacheHits.Load() }
+
+// CacheMisses returns the number of cache probes that found no entry.
+func (r *Resolver) CacheMisses() int64 { return r.cacheMisses.Load() }
+
+// Coalesced returns the number of calls that piggybacked on another
+// chain's in-flight execution instead of issuing their own queries.
+func (r *Resolver) Coalesced() int64 { return r.coalesced.Load() }
 
 // ServerTripped reports whether the health tracker currently
 // deprioritises the address (circuit breaker open).
@@ -124,11 +147,102 @@ func (d *Delegation) NSHosts() []string {
 
 // Delegation walks from the root to the parent of zoneName and returns
 // the delegation data. It fails with ErrNXDomain if the parent denies
-// the name.
+// the name. With a Cache installed the walk starts from the deepest
+// cached ancestor zone (so the root→TLD prefix is resolved once per
+// TLD, not once per target), known-dead names fail fast from the
+// negative cache, and concurrent calls for the same zone coalesce.
 func (r *Resolver) Delegation(ctx context.Context, zoneName string) (*Delegation, error) {
 	zoneName = dnswire.CanonicalName(zoneName)
-	servers := r.Roots
-	currentZone := "."
+	if r.Cache == nil {
+		return r.delegationFrom(ctx, zoneName, r.Roots, ".")
+	}
+	if err, ok := r.Cache.negLookup(zoneName); ok {
+		r.noteCacheHit(ctx)
+		return nil, err
+	}
+	ctx, chain := withChain(ctx)
+	v, shared, err := r.flight.Do(ctx, chain, "d:"+zoneName, func() (any, error) {
+		servers, apex := r.startPoint(ctx, zoneName)
+		d, derr := r.delegationFrom(ctx, zoneName, servers, apex)
+		if derr != nil && (errors.Is(derr, ErrNXDomain) || errors.Is(derr, ErrLameReferal)) {
+			r.Cache.negStore(zoneName, derr)
+		}
+		return d, derr
+	})
+	if shared {
+		r.noteCoalesced(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Delegation), nil
+}
+
+// startPoint picks where the delegation walk for zoneName begins: the
+// target's parent zone when its servers are (or become) cached, the
+// root otherwise. Failures resolving the parent fall back to the
+// uncached full walk so transient errors never pin a bad start.
+func (r *Resolver) startPoint(ctx context.Context, zoneName string) ([]netip.AddrPort, string) {
+	if zoneName == "." {
+		return r.Roots, "."
+	}
+	servers, apex, err := r.zoneServers(ctx, dnswire.Parent(zoneName))
+	if err != nil {
+		return r.Roots, "."
+	}
+	return servers, apex
+}
+
+// zoneServers resolves (and caches) the authoritative server addresses
+// for a zone apex, coalescing concurrent walks for the same zone. For
+// names that turn out not to be zone cuts (empty non-terminals, names
+// hosted in the parent) it aliases to the enclosing zone's servers.
+func (r *Resolver) zoneServers(ctx context.Context, zoneName string) ([]netip.AddrPort, string, error) {
+	if zoneName == "." {
+		return r.Roots, ".", nil
+	}
+	if e, ok := r.Cache.posLookup(zoneName); ok {
+		r.noteCacheHit(ctx)
+		return e.servers, e.apex, nil
+	}
+	r.noteCacheMiss(ctx)
+	ctx, chain := withChain(ctx)
+	v, shared, err := r.flight.Do(ctx, chain, "z:"+zoneName, func() (any, error) {
+		d, derr := r.Delegation(ctx, zoneName)
+		if derr != nil {
+			if !errors.Is(derr, ErrNXDomain) && !errors.Is(derr, ErrLameReferal) {
+				return posEntry{}, derr // transient: do not alias, do not cache
+			}
+			ps, papex, perr := r.zoneServers(ctx, dnswire.Parent(zoneName))
+			if perr != nil {
+				return posEntry{}, derr
+			}
+			e := posEntry{servers: ps, apex: papex}
+			r.Cache.posStore(zoneName, e)
+			return e, nil
+		}
+		srv, serr := r.serversForDelegation(ctx, d)
+		if serr != nil {
+			return posEntry{}, serr
+		}
+		e := posEntry{servers: srv, apex: zoneName}
+		r.Cache.posStore(zoneName, e)
+		return e, nil
+	})
+	if shared {
+		r.noteCoalesced(ctx)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	e := v.(posEntry)
+	return e.servers, e.apex, nil
+}
+
+// delegationFrom performs the iterative referral walk for zoneName
+// starting at the given servers, which are authoritative for
+// currentZone.
+func (r *Resolver) delegationFrom(ctx context.Context, zoneName string, servers []netip.AddrPort, currentZone string) (*Delegation, error) {
 	for depth := 0; depth < r.maxDepth(); depth++ {
 		resp, server, err := r.queryAny(ctx, servers, zoneName, dnswire.TypeNS)
 		if err != nil {
@@ -142,6 +256,16 @@ func (r *Resolver) Delegation(ctx context.Context, zoneName string) (*Delegation
 		}
 
 		if cut, nsSet := referralCut(resp); cut != "" {
+			// A referral must move the walk strictly downward toward
+			// the target: the cut strictly below the zone this server
+			// serves, and the target at or below the cut. Upward,
+			// sideways or unrelated referrals would otherwise spin to
+			// MaxDepth — and, with delegations cached, poison the
+			// shared cache for every later scan of the subtree.
+			if !dnswire.IsSubdomain(cut, currentZone) || cut == currentZone || !dnswire.IsSubdomain(zoneName, cut) {
+				return nil, fmt.Errorf("%w: referral to %s from %s (serving %s) for %s",
+					ErrLoop, cut, server, currentZone, zoneName)
+			}
 			d := &Delegation{
 				Zone:          cut,
 				ParentNS:      nsSet,
@@ -315,7 +439,15 @@ func (r *Resolver) queryAny(ctx context.Context, servers []netip.AddrPort, name 
 	return nil, netip.AddrPort{}, fmt.Errorf("%w: %w", ErrNoServers, errors.Join(errs...))
 }
 
+// cacheZone records the authoritative servers discovered for a real
+// zone cut. With a Cache installed the record lands in the shared
+// positive cache (visible to every Delegation walk); otherwise in the
+// resolver-local legacy map used only by lookupOnce.
 func (r *Resolver) cacheZone(zoneName string, servers []netip.AddrPort) {
+	if r.Cache != nil {
+		r.Cache.posStore(zoneName, posEntry{servers: servers, apex: zoneName})
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.zoneCache == nil {
@@ -324,11 +456,18 @@ func (r *Resolver) cacheZone(zoneName string, servers []netip.AddrPort) {
 	r.zoneCache[zoneName] = servers
 }
 
-func (r *Resolver) cachedZone(zoneName string) ([]netip.AddrPort, bool) {
+// cachedZone returns the cached servers for zoneName plus the apex of
+// the zone they actually serve (differs from zoneName only for alias
+// entries in the shared cache).
+func (r *Resolver) cachedZone(zoneName string) ([]netip.AddrPort, string, bool) {
+	if r.Cache != nil {
+		e, ok := r.Cache.posLookup(zoneName)
+		return e.servers, e.apex, ok
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s, ok := r.zoneCache[zoneName]
-	return s, ok
+	return s, zoneName, ok
 }
 
 // Lookup iteratively resolves (name, qtype) and returns the answer
@@ -368,10 +507,11 @@ func (r *Resolver) Lookup(ctx context.Context, name string, qtype dnswire.Type) 
 // authoritative answer for name.
 func (r *Resolver) lookupOnce(ctx context.Context, name string, qtype dnswire.Type) ([]dnswire.RR, dnswire.Rcode, error) {
 	servers := r.Roots
+	currentZone := "."
 	// Start from the deepest cached enclosing zone.
 	for z := name; ; z = dnswire.Parent(z) {
-		if s, ok := r.cachedZone(z); ok {
-			servers = s
+		if s, apex, ok := r.cachedZone(z); ok {
+			servers, currentZone = s, apex
 			break
 		}
 		if z == "." {
@@ -396,6 +536,10 @@ func (r *Resolver) lookupOnce(ctx context.Context, name string, qtype dnswire.Ty
 		if cut == "" {
 			return nil, resp.Rcode, fmt.Errorf("%w: dead end at %s for %s", ErrLameReferal, server, name)
 		}
+		if !dnswire.IsSubdomain(cut, currentZone) || cut == currentZone || !dnswire.IsSubdomain(name, cut) {
+			return nil, resp.Rcode, fmt.Errorf("%w: referral to %s from %s (serving %s) for %s",
+				ErrLoop, cut, server, currentZone, name)
+		}
 		d := &Delegation{Zone: cut}
 		for _, rr := range resp.Authority {
 			if rr.Type() == dnswire.TypeNS && dnswire.CanonicalName(rr.Name) == cut {
@@ -412,6 +556,7 @@ func (r *Resolver) lookupOnce(ctx context.Context, name string, qtype dnswire.Ty
 			return nil, resp.Rcode, err
 		}
 		servers = next
+		currentZone = cut
 		r.cacheZone(cut, next)
 	}
 	return nil, dnswire.RcodeNoError, ErrLoop
@@ -419,10 +564,16 @@ func (r *Resolver) lookupOnce(ctx context.Context, name string, qtype dnswire.Ty
 
 // AddrsOf resolves a hostname to all of its A and AAAA addresses. It
 // refuses re-entrant resolution of a host already being resolved on
-// this goroutine's call chain (glue-less mutual hosting would loop
-// forever otherwise).
+// the same resolution chain (glue-less mutual hosting would loop
+// forever otherwise). Without a Cache the guard is a process-global
+// inflight map, which also errors on two *different* chains resolving
+// the same host concurrently; with a Cache installed those coalesce
+// onto one execution instead.
 func (r *Resolver) AddrsOf(ctx context.Context, host string) ([]netip.Addr, error) {
 	host = dnswire.CanonicalName(host)
+	if r.Cache != nil {
+		return r.addrsOfCached(ctx, host)
+	}
 	r.mu.RLock()
 	cached, ok := r.addrCache[host]
 	r.mu.RUnlock()
@@ -444,6 +595,54 @@ func (r *Resolver) AddrsOf(ctx context.Context, host string) ([]netip.Addr, erro
 		delete(r.inflight, host)
 		r.mu.Unlock()
 	}()
+	addrs, err := r.resolveAddrs(ctx, host)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.addrCache == nil {
+		r.addrCache = make(map[string][]netip.Addr)
+	}
+	r.addrCache[host] = addrs
+	r.mu.Unlock()
+	return addrs, nil
+}
+
+// addrsOfCached is AddrsOf behind the shared cache: hit the address
+// cache, guard against same-chain cycles via the context's visited
+// set, and coalesce concurrent chains through the flight group.
+func (r *Resolver) addrsOfCached(ctx context.Context, host string) ([]netip.Addr, error) {
+	if addrs, ok := r.Cache.addrLookup(host); ok {
+		r.noteCacheHit(ctx)
+		return addrs, nil
+	}
+	r.noteCacheMiss(ctx)
+	ctx, chain := withChain(ctx)
+	ctx, visited := withVisited(ctx)
+	if visited[host] {
+		return nil, fmt.Errorf("%w: resolution cycle on %s", ErrLoop, host)
+	}
+	visited[host] = true
+	defer delete(visited, host)
+	v, shared, err := r.flight.Do(ctx, chain, "a:"+host, func() (any, error) {
+		addrs, err := r.resolveAddrs(ctx, host)
+		if err != nil {
+			return nil, err
+		}
+		r.Cache.addrStore(host, addrs)
+		return addrs, nil
+	})
+	if shared {
+		r.noteCoalesced(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v.([]netip.Addr), nil
+}
+
+// resolveAddrs issues the A and AAAA lookups for host.
+func (r *Resolver) resolveAddrs(ctx context.Context, host string) ([]netip.Addr, error) {
 	var addrs []netip.Addr
 	for _, qtype := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
 		answer, _, err := r.Lookup(ctx, host, qtype)
@@ -462,11 +661,5 @@ func (r *Resolver) AddrsOf(ctx context.Context, host string) ([]netip.Addr, erro
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("%w: no addresses for %s", ErrNoServers, host)
 	}
-	r.mu.Lock()
-	if r.addrCache == nil {
-		r.addrCache = make(map[string][]netip.Addr)
-	}
-	r.addrCache[host] = addrs
-	r.mu.Unlock()
 	return addrs, nil
 }

@@ -118,6 +118,14 @@ type QueryStats struct {
 	// GaveUp counts exchanges that exhausted every attempt without a
 	// usable answer.
 	GaveUp atomic.Int64
+	// CacheHits counts lookups served from the shared resolver cache
+	// (delegation start points, negative entries, NS addresses).
+	CacheHits atomic.Int64
+	// CacheMisses counts cache probes that found no entry.
+	CacheMisses atomic.Int64
+	// Coalesced counts calls that piggybacked on another chain's
+	// in-flight execution instead of issuing their own queries.
+	Coalesced atomic.Int64
 }
 
 type queryStatsKey struct{}

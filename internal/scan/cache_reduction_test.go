@@ -1,0 +1,133 @@
+// Query-reduction regression for the shared delegation cache. Two
+// claims are pinned here:
+//
+//  1. On the resolution layer the cache targets — delegation walks and
+//     NS address resolution — a shared cached resolver costs less than
+//     half the upstream queries of a fresh, stateless resolver per zone
+//     (every zone re-walking the root and re-resolving its NS hosts).
+//  2. End-to-end scans produce byte-identical classifications with and
+//     without the cache, at strictly lower query cost. The end-to-end
+//     ratio is smaller than the resolution-layer one because the
+//     per-zone measurement probes (SOA, NS, DNSKEY, per-NS CDS/CDNSKEY)
+//     must reach every nameserver regardless of caching.
+package scan_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dnssecboot/internal/classify"
+	"dnssecboot/internal/core"
+	"dnssecboot/internal/ecosystem"
+	"dnssecboot/internal/report"
+	"dnssecboot/internal/resolver"
+	"dnssecboot/internal/scan"
+)
+
+// classificationArtefacts concatenates every classification-bearing
+// artefact of a result set (the same set the chaos suite compares).
+func classificationArtefacts(results []*classify.Result) string {
+	r := report.Build(results)
+	var sb strings.Builder
+	for _, artefact := range []func() string{
+		r.Headline, r.Figure1,
+		func() string { return r.Table1(20) },
+		func() string { return r.Table2(20) },
+		r.Table3, r.CDSFindings,
+	} {
+		sb.WriteString(artefact())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// resolveZone performs the resolution phase of one zone scan: the
+// delegation walk plus address resolution for every delegated NS host.
+func resolveZone(ctx context.Context, r *resolver.Resolver, zoneName string) {
+	d, err := r.Delegation(ctx, zoneName)
+	if err != nil {
+		return
+	}
+	for _, host := range d.NSHosts() {
+		_, _ = r.AddrsOf(ctx, host)
+	}
+}
+
+func TestCacheHalvesResolutionQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resolves the world twice")
+	}
+	world, err := ecosystem.Generate(ecosystem.Config{Seed: 3, ScaleDivisor: chaosScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	shared := &resolver.Resolver{Net: world.Net, Roots: world.Roots, Cache: resolver.NewCache(0)}
+	for _, zoneName := range world.Targets {
+		resolveZone(ctx, shared, zoneName)
+	}
+	cached := shared.Queries()
+
+	var stateless int64
+	for _, zoneName := range world.Targets {
+		r := &resolver.Resolver{Net: world.Net, Roots: world.Roots}
+		resolveZone(ctx, r, zoneName)
+		stateless += r.Queries()
+	}
+
+	if cached == 0 || stateless == 0 {
+		t.Fatalf("degenerate query counts: cached=%d stateless=%d", cached, stateless)
+	}
+	if stateless < 2*cached {
+		t.Errorf("cached resolution used %d queries vs %d stateless (%.2fx) — want at least 2x reduction",
+			cached, stateless, float64(stateless)/float64(cached))
+	}
+	t.Logf("resolution queries over %d zones: cached=%d stateless=%d (%.1fx reduction)",
+		len(world.Targets), cached, stateless, float64(stateless)/float64(cached))
+}
+
+func TestCacheKeepsScanOutputsWithFewerQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scans the world twice, once per-zone")
+	}
+	world, err := ecosystem.Generate(ecosystem.Config{Seed: 3, ScaleDivisor: chaosScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// One shared scanner with the cache: TLD walks and NS address
+	// resolutions paid once across the whole scan.
+	cachedScanner := core.NewScanner(world, core.Options{Seed: 3, Concurrency: 1})
+	cachedObs := cachedScanner.ScanAll(ctx, world.Targets)
+	var cachedQueries int64
+	for _, obs := range cachedObs {
+		cachedQueries += obs.Queries
+	}
+
+	// The stateless baseline: a fresh scanner per zone, nothing shared.
+	baselineObs := make([]*scan.ZoneObservation, 0, len(world.Targets))
+	var baselineQueries int64
+	for _, zoneName := range world.Targets {
+		s := core.NewScanner(world, core.Options{Seed: 3, Concurrency: 1, DisableCache: true})
+		obs := s.ScanZone(ctx, zoneName)
+		baselineQueries += obs.Queries
+		baselineObs = append(baselineObs, obs)
+	}
+
+	if cachedQueries >= baselineQueries {
+		t.Errorf("cached scan used %d queries vs %d stateless — cache not reducing end-to-end cost",
+			cachedQueries, baselineQueries)
+	}
+	t.Logf("end-to-end queries over %d zones: cached=%d stateless=%d (%.2fx reduction)",
+		len(world.Targets), cachedQueries, baselineQueries, float64(baselineQueries)/float64(cachedQueries))
+
+	classifier := classify.New(world.Now)
+	cachedArts := classificationArtefacts(classifier.ClassifyAll(cachedObs))
+	baselineArts := classificationArtefacts(classifier.ClassifyAll(baselineObs))
+	if cachedArts != baselineArts {
+		t.Errorf("cache changed the classifications\n%s", firstDiff(baselineArts, cachedArts))
+	}
+}

@@ -34,7 +34,7 @@ type chaosOutcome struct {
 // determinism assertions below compare exact counts.
 func chaosRun(t *testing.T, loss float64, retryAttempts int, chaosSeed int64) chaosOutcome {
 	t.Helper()
-	study, err := core.Run(context.Background(), core.Options{
+	return chaosRunOpts(t, core.Options{
 		Seed:          3,
 		ScaleDivisor:  chaosScale,
 		Concurrency:   1,
@@ -42,8 +42,14 @@ func chaosRun(t *testing.T, loss float64, retryAttempts int, chaosSeed int64) ch
 		RetryAttempts: retryAttempts,
 		ChaosSeed:     chaosSeed,
 	})
+}
+
+// chaosRunOpts is chaosRun with full control over the study options.
+func chaosRunOpts(t *testing.T, opts core.Options) chaosOutcome {
+	t.Helper()
+	study, err := core.Run(context.Background(), opts)
 	if err != nil {
-		t.Fatalf("chaos run (loss=%g retries=%d): %v", loss, retryAttempts, err)
+		t.Fatalf("chaos run (%+v): %v", opts, err)
 	}
 	r := study.Report
 	var sb strings.Builder
@@ -131,6 +137,47 @@ func TestChaosDeterministicUnderSeed(t *testing.T) {
 	}
 	if c.queries == a.queries && c.retries == a.retries {
 		t.Error("different chaos seeds produced the identical query accounting — seed unused?")
+	}
+}
+
+// TestChaosCacheInvariant proves the shared delegation cache is an
+// optimisation, not a behaviour change: with and without the cache the
+// classification artefacts must be byte-identical — both on a clean
+// network and under loss with retries — while the cached runs must
+// issue measurably fewer queries (non-vacuity).
+func TestChaosCacheInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full scans")
+	}
+	for _, tc := range []struct {
+		name          string
+		loss          float64
+		retryAttempts int
+	}{
+		{"lossless", 0, 1},
+		{"lossy", 0.05, chaosRetries},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := core.Options{
+				Seed:          3,
+				ScaleDivisor:  chaosScale,
+				Concurrency:   1,
+				LossRate:      tc.loss,
+				RetryAttempts: tc.retryAttempts,
+				ChaosSeed:     42,
+			}
+			cached := chaosRunOpts(t, opts)
+			opts.DisableCache = true
+			legacy := chaosRunOpts(t, opts)
+			if cached.artefacts != legacy.artefacts {
+				t.Errorf("cache changed the classifications\n%s",
+					firstDiff(legacy.artefacts, cached.artefacts))
+			}
+			if cached.queries >= legacy.queries {
+				t.Errorf("cached scan used %d queries vs %d without the cache — cache not biting",
+					cached.queries, legacy.queries)
+			}
+		})
 	}
 }
 

@@ -19,21 +19,24 @@ import (
 
 // ObservationJSON is the serialised form of a ZoneObservation.
 type ObservationJSON struct {
-	Zone       string   `json:"zone"`
-	ResolveErr string   `json:"resolve_err,omitempty"`
-	ParentZone string   `json:"parent_zone,omitempty"`
-	ParentNS   []string `json:"parent_ns,omitempty"`
-	ChildNS    []string `json:"child_ns,omitempty"`
-	DS         []string `json:"ds,omitempty"`
-	DSSigs     []string `json:"ds_sigs,omitempty"`
-	DNSKEY     []string `json:"dnskey,omitempty"`
-	DNSKEYSigs []string `json:"dnskey_sigs,omitempty"`
-	ChainValid bool     `json:"chain_valid"`
-	ChainErr   string   `json:"chain_err,omitempty"`
-	SampledNS  bool     `json:"sampled_ns,omitempty"`
-	Queries    int64    `json:"queries"`
-	Retries    int64    `json:"retries,omitempty"`
-	GaveUp     int64    `json:"gave_up,omitempty"`
+	Zone        string   `json:"zone"`
+	ResolveErr  string   `json:"resolve_err,omitempty"`
+	ParentZone  string   `json:"parent_zone,omitempty"`
+	ParentNS    []string `json:"parent_ns,omitempty"`
+	ChildNS     []string `json:"child_ns,omitempty"`
+	DS          []string `json:"ds,omitempty"`
+	DSSigs      []string `json:"ds_sigs,omitempty"`
+	DNSKEY      []string `json:"dnskey,omitempty"`
+	DNSKEYSigs  []string `json:"dnskey_sigs,omitempty"`
+	ChainValid  bool     `json:"chain_valid"`
+	ChainErr    string   `json:"chain_err,omitempty"`
+	SampledNS   bool     `json:"sampled_ns,omitempty"`
+	Queries     int64    `json:"queries"`
+	Retries     int64    `json:"retries,omitempty"`
+	GaveUp      int64    `json:"gave_up,omitempty"`
+	CacheHits   int64    `json:"cache_hits,omitempty"`
+	CacheMisses int64    `json:"cache_misses,omitempty"`
+	Coalesced   int64    `json:"coalesced,omitempty"`
 
 	PerNS   []NSObservationJSON     `json:"per_ns,omitempty"`
 	Signals []SignalObservationJSON `json:"signals,omitempty"`
@@ -53,15 +56,17 @@ type NSObservationJSON struct {
 
 // SignalObservationJSON serialises one RFC 9615 probe.
 type SignalObservationJSON struct {
-	NSHost        string   `json:"ns_host"`
-	Owner         string   `json:"owner,omitempty"`
-	Outcome       string   `json:"outcome"`
-	Records       []string `json:"records,omitempty"`
-	Sigs          []string `json:"sigs,omitempty"`
-	Secure        bool     `json:"secure"`
-	ValidationErr string   `json:"validation_err,omitempty"`
-	ZoneCut       bool     `json:"zone_cut,omitempty"`
-	NameTooLong   bool     `json:"name_too_long,omitempty"`
+	NSHost         string   `json:"ns_host"`
+	Owner          string   `json:"owner,omitempty"`
+	Outcome        string   `json:"outcome"`
+	CDSOutcome     string   `json:"cds_outcome,omitempty"`
+	CDNSKEYOutcome string   `json:"cdnskey_outcome,omitempty"`
+	Records        []string `json:"records,omitempty"`
+	Sigs           []string `json:"sigs,omitempty"`
+	Secure         bool     `json:"secure"`
+	ValidationErr  string   `json:"validation_err,omitempty"`
+	ZoneCut        bool     `json:"zone_cut,omitempty"`
+	NameTooLong    bool     `json:"name_too_long,omitempty"`
 }
 
 func rrStrings(rrs []dnswire.RR) []string {
@@ -78,21 +83,24 @@ func rrStrings(rrs []dnswire.RR) []string {
 // ToJSON converts an observation into its export form.
 func (z *ZoneObservation) ToJSON() ObservationJSON {
 	out := ObservationJSON{
-		Zone:       z.Zone,
-		ResolveErr: z.ResolveErr,
-		ParentZone: z.ParentZone,
-		ParentNS:   z.ParentNS,
-		ChildNS:    z.ChildNS,
-		DS:         rrStrings(z.DS),
-		DSSigs:     rrStrings(z.DSSigs),
-		DNSKEY:     rrStrings(z.DNSKEY),
-		DNSKEYSigs: rrStrings(z.DNSKEYSigs),
-		ChainValid: z.ChainValid,
-		ChainErr:   z.ChainErr,
-		SampledNS:  z.SampledNS,
-		Queries:    z.Queries,
-		Retries:    z.Retries,
-		GaveUp:     z.GaveUp,
+		Zone:        z.Zone,
+		ResolveErr:  z.ResolveErr,
+		ParentZone:  z.ParentZone,
+		ParentNS:    z.ParentNS,
+		ChildNS:     z.ChildNS,
+		DS:          rrStrings(z.DS),
+		DSSigs:      rrStrings(z.DSSigs),
+		DNSKEY:      rrStrings(z.DNSKEY),
+		DNSKEYSigs:  rrStrings(z.DNSKEYSigs),
+		ChainValid:  z.ChainValid,
+		ChainErr:    z.ChainErr,
+		SampledNS:   z.SampledNS,
+		Queries:     z.Queries,
+		Retries:     z.Retries,
+		GaveUp:      z.GaveUp,
+		CacheHits:   z.CacheHits,
+		CacheMisses: z.CacheMisses,
+		Coalesced:   z.Coalesced,
 	}
 	for _, ns := range z.PerNS {
 		out.PerNS = append(out.PerNS, NSObservationJSON{
@@ -108,15 +116,17 @@ func (z *ZoneObservation) ToJSON() ObservationJSON {
 	}
 	for _, so := range z.Signals {
 		out.Signals = append(out.Signals, SignalObservationJSON{
-			NSHost:        so.NSHost,
-			Owner:         so.Owner,
-			Outcome:       so.Outcome.String(),
-			Records:       rrStrings(so.Records),
-			Sigs:          rrStrings(so.Sigs),
-			Secure:        so.Secure,
-			ValidationErr: so.ValidationErr,
-			ZoneCut:       so.ZoneCut,
-			NameTooLong:   so.NameTooLong,
+			NSHost:         so.NSHost,
+			Owner:          so.Owner,
+			Outcome:        so.Outcome.String(),
+			CDSOutcome:     so.CDSOutcome.String(),
+			CDNSKEYOutcome: so.CDNSKEYOutcome.String(),
+			Records:        rrStrings(so.Records),
+			Sigs:           rrStrings(so.Sigs),
+			Secure:         so.Secure,
+			ValidationErr:  so.ValidationErr,
+			ZoneCut:        so.ZoneCut,
+			NameTooLong:    so.NameTooLong,
 		})
 	}
 	return out
@@ -154,17 +164,20 @@ func ReadJSONL(r io.Reader) ([]ObservationJSON, error) {
 // back to their enum values; unknown strings become OutcomeError.
 func FromJSON(o ObservationJSON) (*ZoneObservation, error) {
 	obs := &ZoneObservation{
-		Zone:       o.Zone,
-		ResolveErr: o.ResolveErr,
-		ParentZone: o.ParentZone,
-		ParentNS:   o.ParentNS,
-		ChildNS:    o.ChildNS,
-		ChainValid: o.ChainValid,
-		ChainErr:   o.ChainErr,
-		SampledNS:  o.SampledNS,
-		Queries:    o.Queries,
-		Retries:    o.Retries,
-		GaveUp:     o.GaveUp,
+		Zone:        o.Zone,
+		ResolveErr:  o.ResolveErr,
+		ParentZone:  o.ParentZone,
+		ParentNS:    o.ParentNS,
+		ChildNS:     o.ChildNS,
+		ChainValid:  o.ChainValid,
+		ChainErr:    o.ChainErr,
+		SampledNS:   o.SampledNS,
+		Queries:     o.Queries,
+		Retries:     o.Retries,
+		GaveUp:      o.GaveUp,
+		CacheHits:   o.CacheHits,
+		CacheMisses: o.CacheMisses,
+		Coalesced:   o.Coalesced,
 	}
 	var err error
 	if obs.DS, err = parseRRs(o.DS); err != nil {
@@ -202,14 +215,26 @@ func FromJSON(o ObservationJSON) (*ZoneObservation, error) {
 		obs.PerNS = append(obs.PerNS, n)
 	}
 	for _, sj := range o.Signals {
+		// Exports written before the per-type outcomes existed carry
+		// only the aggregate; fall back to it rather than inventing an
+		// error.
+		cdsOutcome, cdnskeyOutcome := sj.CDSOutcome, sj.CDNSKEYOutcome
+		if cdsOutcome == "" {
+			cdsOutcome = sj.Outcome
+		}
+		if cdnskeyOutcome == "" {
+			cdnskeyOutcome = sj.Outcome
+		}
 		so := SignalObservation{
-			NSHost:        sj.NSHost,
-			Owner:         sj.Owner,
-			Outcome:       outcomeFromString(sj.Outcome),
-			Secure:        sj.Secure,
-			ValidationErr: sj.ValidationErr,
-			ZoneCut:       sj.ZoneCut,
-			NameTooLong:   sj.NameTooLong,
+			NSHost:         sj.NSHost,
+			Owner:          sj.Owner,
+			Outcome:        outcomeFromString(sj.Outcome),
+			CDSOutcome:     outcomeFromString(cdsOutcome),
+			CDNSKEYOutcome: outcomeFromString(cdnskeyOutcome),
+			Secure:         sj.Secure,
+			ValidationErr:  sj.ValidationErr,
+			ZoneCut:        sj.ZoneCut,
+			NameTooLong:    sj.NameTooLong,
 		}
 		if so.Records, err = parseRRs(sj.Records); err != nil {
 			return nil, err

@@ -94,8 +94,15 @@ type SignalObservation struct {
 	// RRSIGs.
 	Records []dnswire.RR
 	Sigs    []dnswire.RR
-	// Outcome is how the probe ended.
+	// Outcome is the aggregate of the two lookups: the worst failure
+	// wins, so a probe whose CDS succeeded but whose CDNSKEY timed out
+	// reports the timeout rather than masking it.
 	Outcome Outcome
+	// CDSOutcome and CDNSKEYOutcome record how each lookup ended
+	// individually — a signal zone publishing only one of the two types
+	// legitimately shows OK alongside NoData.
+	CDSOutcome     Outcome
+	CDNSKEYOutcome Outcome
 	// NameTooLong is set when the signalling name exceeds the 255-octet
 	// limit and could not be queried at all (§2 limitations).
 	NameTooLong bool
@@ -156,6 +163,12 @@ type ZoneObservation struct {
 	// policy.
 	Retries int64
 	GaveUp  int64
+	// CacheHits, CacheMisses and Coalesced account this zone's use of
+	// the resolver's shared cache and singleflight layer. All zero when
+	// the scan runs without a cache.
+	CacheHits   int64
+	CacheMisses int64
+	Coalesced   int64
 }
 
 // AllNSHosts returns the union of parent- and child-side NS hostnames.

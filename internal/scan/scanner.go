@@ -76,14 +76,33 @@ func New(cfg Config) *Scanner {
 func (s *Scanner) Validator() *Validator { return s.val }
 
 // ScanAll scans every zone with bounded concurrency, preserving input
-// order in the result.
+// order in the result. When ctx is cancelled no further zones are
+// launched; the unscanned tail is filled with observations carrying
+// the cancellation as their resolve error.
 func (s *Scanner) ScanAll(ctx context.Context, zones []string) []*ZoneObservation {
 	out := make([]*ZoneObservation, len(zones))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, s.cfg.Concurrency)
 	for i, z := range zones {
+		// Explicit pre-check: when ctx is already done, a select with a
+		// free semaphore slot would still launch scans at random.
+		if ctx.Err() == nil {
+			select {
+			case <-ctx.Done():
+			case sem <- struct{}{}:
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			for j := i; j < len(zones); j++ {
+				out[j] = &ZoneObservation{
+					Zone:       dnswire.CanonicalName(zones[j]),
+					ResolveErr: err.Error(),
+				}
+			}
+			wg.Wait()
+			return out
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, z string) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -103,6 +122,9 @@ func (s *Scanner) ScanZone(ctx context.Context, zoneName string) *ZoneObservatio
 		obs.Queries = stats.Queries.Load()
 		obs.Retries = stats.Retries.Load()
 		obs.GaveUp = stats.GaveUp.Load()
+		obs.CacheHits = stats.CacheHits.Load()
+		obs.CacheMisses = stats.CacheMisses.Load()
+		obs.Coalesced = stats.Coalesced.Load()
 	}()
 
 	d, err := s.cfg.Resolver.Delegation(ctx, zoneName)
@@ -315,10 +337,18 @@ func (s *Scanner) observeNS(ctx context.Context, zoneName, host string, addr net
 func (s *Scanner) queryCDS(ctx context.Context, addr netip.Addr, zoneName string, typ dnswire.Type) ([]dnswire.RR, []dnswire.RR, Outcome) {
 	resp, err := s.exchange(ctx, addr, zoneName, typ)
 	if err != nil {
-		if errors.Is(err, transport.ErrUnreachable) {
+		// Only genuine silence is a timeout. Everything else — a
+		// malformed response, SERVFAIL exhausted through retries, a
+		// cancelled context — is a server/protocol failure; lumping it
+		// into the timeout bucket inflated the timeout share of Table 2.
+		switch {
+		case errors.Is(err, transport.ErrUnreachable):
 			return nil, nil, OutcomeUnreachable
+		case errors.Is(err, transport.ErrTimeout):
+			return nil, nil, OutcomeTimeout
+		default:
+			return nil, nil, OutcomeError
 		}
-		return nil, nil, OutcomeTimeout
 	}
 	switch resp.Rcode {
 	case dnswire.RcodeNoError:
@@ -369,47 +399,27 @@ func (s *Scanner) verifyApexSOA(ctx context.Context, addr netip.Addr, zoneName s
 }
 
 // probeSignal fetches CDS/CDNSKEY at _dsboot.<child>._signal.<ns> and
-// chain-validates what it finds.
+// chain-validates what it finds. The two lookups are recorded
+// individually (CDSOutcome, CDNSKEYOutcome); the aggregate Outcome is
+// the worst of the two, so a partial failure (CDS answered, CDNSKEY
+// timed out) is never masked by the success.
 func (s *Scanner) probeSignal(ctx context.Context, child, nsHost string) SignalObservation {
 	so := SignalObservation{NSHost: nsHost}
 	owner, err := zone.SignalName(child, nsHost)
 	if err != nil {
 		so.NameTooLong = true
 		so.Outcome = OutcomeError
+		so.CDSOutcome = OutcomeError
+		so.CDNSKEYOutcome = OutcomeError
 		return so
 	}
 	so.Owner = owner
-	for _, typ := range []dnswire.Type{dnswire.TypeCDS, dnswire.TypeCDNSKEY} {
-		answer, rcode, err := s.cfg.Resolver.Lookup(ctx, owner, typ)
-		if err != nil {
-			switch {
-			case rcode == dnswire.RcodeNXDomain:
-				so.Outcome = OutcomeNXDomain
-			case errors.Is(err, transport.ErrUnreachable):
-				so.Outcome = OutcomeUnreachable
-			case errors.Is(err, transport.ErrTimeout):
-				so.Outcome = OutcomeTimeout
-			default:
-				so.Outcome = OutcomeError
-			}
-			continue
-		}
-		for _, rr := range answer {
-			if rr.Type() == typ && dnswire.CanonicalName(rr.Name) == owner {
-				so.Records = append(so.Records, rr)
-			}
-			if sig, ok := rr.Data.(*dnswire.RRSIG); ok && sig.TypeCovered == typ {
-				so.Sigs = append(so.Sigs, rr)
-			}
-		}
-	}
+	so.CDSOutcome = s.probeSignalType(ctx, &so, dnswire.TypeCDS)
+	so.CDNSKEYOutcome = s.probeSignalType(ctx, &so, dnswire.TypeCDNSKEY)
+	so.Outcome = aggregateSignalOutcome(so.CDSOutcome, so.CDNSKEYOutcome, len(so.Records) > 0)
 	if len(so.Records) == 0 {
-		if so.Outcome == OutcomeOK {
-			so.Outcome = OutcomeNoData
-		}
 		return so
 	}
-	so.Outcome = OutcomeOK
 
 	// RFC 9615 requires the signalling records to be DNSSEC-secure.
 	byType := dnswire.GroupRRsets(so.Records)
@@ -429,6 +439,58 @@ func (s *Scanner) probeSignal(ctx context.Context, child, nsHost string) SignalO
 	}
 	so.Secure = secure
 	return so
+}
+
+// probeSignalType performs one CDS-or-CDNSKEY lookup at the signal
+// owner, appending any records and signatures into so, and returns how
+// that lookup ended.
+func (s *Scanner) probeSignalType(ctx context.Context, so *SignalObservation, typ dnswire.Type) Outcome {
+	answer, rcode, err := s.cfg.Resolver.Lookup(ctx, so.Owner, typ)
+	if err != nil {
+		switch {
+		case rcode == dnswire.RcodeNXDomain:
+			return OutcomeNXDomain
+		case errors.Is(err, transport.ErrUnreachable):
+			return OutcomeUnreachable
+		case errors.Is(err, transport.ErrTimeout):
+			return OutcomeTimeout
+		default:
+			return OutcomeError
+		}
+	}
+	found := false
+	for _, rr := range answer {
+		if rr.Type() == typ && dnswire.CanonicalName(rr.Name) == so.Owner {
+			so.Records = append(so.Records, rr)
+			found = true
+		}
+		if sig, ok := rr.Data.(*dnswire.RRSIG); ok && sig.TypeCovered == typ {
+			so.Sigs = append(so.Sigs, rr)
+		}
+	}
+	if !found {
+		return OutcomeNoData
+	}
+	return OutcomeOK
+}
+
+// aggregateSignalOutcome folds the two per-type outcomes into one. A
+// failure or NXDOMAIN on either lookup dominates (the Outcome ordering
+// ranks severity); otherwise the probe is OK when any records were
+// found and NoData when both lookups came back empty — a signal zone
+// publishing only CDS or only CDNSKEY is still a working signal.
+func aggregateSignalOutcome(cds, cdnskey Outcome, haveRecords bool) Outcome {
+	worst := cds
+	if cdnskey > worst {
+		worst = cdnskey
+	}
+	if worst.Failed() || worst == OutcomeNXDomain {
+		return worst
+	}
+	if haveRecords {
+		return OutcomeOK
+	}
+	return OutcomeNoData
 }
 
 // checkZoneCuts looks for zone cuts inside signal zones, which RFC 9615
