@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race fuzz-smoke bench-smoke build ci
+.PHONY: all test race fuzz-smoke bench-smoke obs-smoke build ci
 
 all: test
 
@@ -24,15 +24,26 @@ fuzz-smoke:
 	$(GO) test ./internal/zone/ -fuzz FuzzParseZone -fuzztime 30s
 
 # One iteration of every benchmark — checks they still run, not their
-# numbers.
+# numbers — plus a metrics snapshot from a small instrumented scan, kept
+# as a CI artefact so latency/counter regressions are diffable.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	mkdir -p artifacts
+	$(GO) run ./cmd/dnssec-scan -scale 500000 -metrics-out artifacts/metrics.json -out queries
+
+# Observability round-trip: a traced scan's -trace-out stream must parse
+# back through `reanalyze -trace` (every line valid, zone+stage present).
+obs-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/dnssec-scan -scale 500000 -trace-out artifacts/trace.jsonl -out headline
+	$(GO) run ./cmd/reanalyze -trace artifacts/trace.jsonl
 
 # The full local CI gate: vet, build, the race-enabled test suite
-# (includes the chaos and cache-invariance regressions) and the fuzz
-# smoke.
+# (includes the chaos, cache-invariance and observability-neutrality
+# regressions), the fuzz smoke and the trace round-trip.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) obs-smoke

@@ -16,13 +16,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
 	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
+	_ "expvar" // registers /debug/vars on DefaultServeMux
+
 	"dnssecboot/internal/core"
 	"dnssecboot/internal/ecosystem"
+	"dnssecboot/internal/obs"
 	"dnssecboot/internal/scan"
 )
 
@@ -44,10 +50,46 @@ func main() {
 		chaosSeed    = flag.Int64("chaos-seed", 0, "seed for fault-injection and retry jitter (0 = use -seed)")
 		cache        = flag.Bool("cache", true, "shared delegation cache + singleflight deduplication (false = re-walk the root per zone)")
 		cacheNegTTL  = flag.Duration("cache-neg-ttl", time.Minute, "how long NXDOMAIN/lame results are served from the negative cache")
+		metricsOut   = flag.String("metrics-out", "", "write a JSON metrics snapshot (counters, latency histograms) to this file after the scan")
+		traceOut     = flag.String("trace-out", "", "write per-zone trace events as JSON lines to this file")
+		traceZone    = flag.String("trace-zone", "", "restrict -trace-out to this zone's full decision trace")
+		progress     = flag.Bool("progress", false, "print live scan progress (zones/s, ETA, error rate) to stderr")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *loss > 0 && *retries <= 1 {
 		fmt.Fprintln(os.Stderr, "warning: -loss without -retries > 1 will misclassify zones on dropped packets")
+	}
+	if *traceZone != "" && *traceOut == "" {
+		fmt.Fprintln(os.Stderr, "-trace-zone requires -trace-out")
+		os.Exit(2)
+	}
+
+	var registry *obs.Registry
+	if *metricsOut != "" {
+		registry = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f, *traceZone)
+	}
+	var progressW io.Writer
+	if *progress {
+		progressW = os.Stderr
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving /debug/pprof and /debug/vars on %s\n", *pprofAddr)
 	}
 
 	genStart := time.Now()
@@ -76,12 +118,39 @@ func main() {
 		ChaosSeed:             *chaosSeed,
 		DisableCache:          !*cache,
 		CacheNegTTL:           *cacheNegTTL,
+		Registry:              registry,
+		Tracer:                tracer,
+		ProgressWriter:        progressW,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scan:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "scanned %d zones in %v\n", len(study.Results), study.Elapsed.Round(time.Millisecond))
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tracer.Events(), *traceOut)
+	}
+	if registry != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		if err := registry.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
+	}
 
 	if *dump != "" {
 		f, err := os.Create(*dump)

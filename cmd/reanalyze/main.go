@@ -7,26 +7,37 @@
 //
 //	dnssec-scan -scale 20000 -dump obs.jsonl
 //	reanalyze -in obs.jsonl -out figure1
+//
+// With -trace it instead validates and summarises a -trace-out JSONL
+// stream (the CI round-trip check for the trace format).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"dnssecboot/internal/classify"
+	"dnssecboot/internal/obs"
 	"dnssecboot/internal/report"
 	"dnssecboot/internal/scan"
 )
 
 func main() {
 	var (
-		in  = flag.String("in", "-", "JSONL observation dump (- for stdin)")
-		out = flag.String("out", "all", "artefact: all|headline|table1|table2|table3|figure1|cds|queries")
-		now = flag.String("now", "2025-04-15T12:00:00Z", "validation timestamp (RFC 3339) matching the scan")
+		in    = flag.String("in", "-", "JSONL observation dump (- for stdin)")
+		out   = flag.String("out", "all", "artefact: all|headline|table1|table2|table3|figure1|cds|queries")
+		now   = flag.String("now", "2025-04-15T12:00:00Z", "validation timestamp (RFC 3339) matching the scan")
+		trace = flag.String("trace", "", "validate and summarise a -trace-out JSONL stream instead of reclassifying")
 	)
 	flag.Parse()
+
+	if *trace != "" {
+		summarizeTrace(*trace)
+		return
+	}
 
 	ts, err := time.Parse(time.RFC3339, *now)
 	if err != nil {
@@ -77,6 +88,40 @@ func main() {
 	for _, name := range []string{"headline", "figure1", "table1", "table2", "cds", "table3", "queries"} {
 		fmt.Println(artefacts[name]())
 		fmt.Println()
+	}
+}
+
+// summarizeTrace round-trips a -trace-out artefact through the trace
+// reader and prints per-stage/event counts. Any malformed line is fatal,
+// so CI can use this as a format check.
+func summarizeTrace(path string) {
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	zones := make(map[string]bool)
+	byKind := make(map[string]int)
+	for _, ev := range events {
+		zones[ev.Zone] = true
+		byKind[ev.Stage+"/"+ev.Event]++
+	}
+	fmt.Printf("trace: %d events across %d zones\n", len(events), len(zones))
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-28s %d\n", k, byKind[k])
 	}
 }
 

@@ -8,10 +8,13 @@
 package classify
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"dnssecboot/internal/dnssec"
 	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/obs"
 	"dnssecboot/internal/operator"
 	"dnssecboot/internal/scan"
 )
@@ -179,6 +182,10 @@ type Classifier struct {
 	Operators *operator.Identifier
 	// Now anchors signature validity checks.
 	Now time.Time
+	// Tracer, when set, receives one stage:"classify" decision event per
+	// zone, extending the scan-time trace with the outcome the paper's
+	// §4 pipeline assigned. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // New builds a Classifier with the default operator rules.
@@ -187,21 +194,66 @@ func New(now time.Time) *Classifier {
 }
 
 // Classify processes one observation.
-func (c *Classifier) Classify(obs *scan.ZoneObservation) *Result {
+func (c *Classifier) Classify(o *scan.ZoneObservation) *Result {
 	r := &Result{
-		Zone: obs.Zone, Queries: obs.Queries, Retries: obs.Retries, GaveUp: obs.GaveUp,
-		CacheHits: obs.CacheHits, CacheMisses: obs.CacheMisses, Coalesced: obs.Coalesced,
+		Zone: o.Zone, Queries: o.Queries, Retries: o.Retries, GaveUp: o.GaveUp,
+		CacheHits: o.CacheHits, CacheMisses: o.CacheMisses, Coalesced: o.Coalesced,
 	}
-	if obs.ResolveErr != "" {
+	if o.ResolveErr != "" {
 		r.Status = StatusUnresolved
+		c.traceDecision(r)
 		return r
 	}
-	r.Operator = c.Operators.Identify(obs.AllNSHosts())
-	r.Status = statusOf(obs)
-	r.CDS = c.cdsInfo(obs, r.Status)
+	r.Operator = c.Operators.Identify(o.AllNSHosts())
+	r.Status = statusOf(o)
+	r.CDS = c.cdsInfo(o, r.Status)
 	r.Bucket = bucketOf(r.Status, r.CDS)
-	r.Signal = c.signalInfo(obs, r)
+	r.Signal = c.signalInfo(o, r)
+	c.traceDecision(r)
 	return r
+}
+
+// traceDecision extends the zone's trace with the §4 classification
+// outcome: the deployment status, the Figure-1 bucket, and (when the
+// signal probes ran) the Table-3 verdict with any RFC 9615 violations.
+func (c *Classifier) traceDecision(r *Result) {
+	sp := c.Tracer.StartSpan(r.Zone)
+	if sp == nil {
+		return
+	}
+	sp.Emit(obs.TraceEvent{Stage: "classify", Event: "decision",
+		Outcome: r.Status.String(),
+		Detail:  fmt.Sprintf("bucket=%q cds_present=%t", r.Bucket, r.CDS.Present)})
+	if r.Signal.Probed {
+		ev := obs.TraceEvent{Stage: "classify", Event: "signal_verdict",
+			Outcome: signalVerdict(r.Signal), N: len(r.Signal.Violations)}
+		if len(r.Signal.Violations) > 0 {
+			parts := make([]string, len(r.Signal.Violations))
+			for i, v := range r.Signal.Violations {
+				parts[i] = string(v)
+			}
+			ev.Detail = strings.Join(parts, "; ")
+		}
+		sp.Emit(ev)
+	}
+}
+
+// signalVerdict names the Table-3 rung a zone landed on.
+func signalVerdict(s SignalInfo) string {
+	switch {
+	case !s.HasSignal:
+		return "no signal"
+	case s.AlreadySecured:
+		return "already secured"
+	case s.DeletionRequest:
+		return "deletion request"
+	case s.InvalidDNSSEC:
+		return "invalid dnssec"
+	case s.Correct:
+		return "correct"
+	default:
+		return "violations"
+	}
 }
 
 // ClassifyAll processes a batch.

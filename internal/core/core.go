@@ -12,10 +12,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"dnssecboot/internal/classify"
 	"dnssecboot/internal/ecosystem"
+	"dnssecboot/internal/obs"
 	"dnssecboot/internal/rate"
 	"dnssecboot/internal/report"
 	"dnssecboot/internal/resolver"
@@ -70,6 +72,19 @@ type Options struct {
 	// CacheNegTTL bounds how long negative (NXDOMAIN / lame) results
 	// are served from the cache. Zero uses the resolver default (60 s).
 	CacheNegTTL time.Duration
+
+	// Registry collects the run's metrics (query counts, latency and
+	// rate-wait histograms, cache accounting). Nil means the resolver
+	// keeps a private registry and nothing is exported.
+	Registry *obs.Registry
+	// Tracer receives per-zone trace events from the scan and the
+	// classification (-trace-out / -trace-zone). Nil disables tracing.
+	Tracer *obs.Tracer
+	// ProgressWriter receives live progress lines (zones/s, ETA, error
+	// rate) during the scan; nil disables progress reporting.
+	ProgressWriter io.Writer
+	// ProgressInterval is the pause between progress lines (default 2s).
+	ProgressInterval time.Duration
 }
 
 // Study is the outcome of a run.
@@ -93,11 +108,18 @@ type Study struct {
 // the matching fault profile as a side effect.
 func NewScanner(world *ecosystem.Ecosystem, opts Options) *scan.Scanner {
 	r := &resolver.Resolver{Net: world.Net, Roots: world.Roots}
+	if opts.Registry != nil {
+		r.Obs = resolver.NewMetrics(opts.Registry)
+	}
 	if !opts.DisableCache {
 		r.Cache = resolver.NewCache(opts.CacheNegTTL)
 	}
 	if opts.QueriesPerSecondPerNS > 0 {
 		r.Limits = rate.NewPerKey(opts.QueriesPerSecondPerNS, int(opts.QueriesPerSecondPerNS))
+		if opts.Registry != nil {
+			wait := r.Obs.RateWait
+			r.Limits.SetObserver(func(d time.Duration) { wait.Observe(d.Seconds()) })
+		}
 	}
 	chaosSeed := opts.ChaosSeed
 	if chaosSeed == 0 {
@@ -127,6 +149,9 @@ func NewScanner(world *ecosystem.Ecosystem, opts Options) *scan.Scanner {
 		SignalOnlyCandidates: opts.SignalOnlyCandidates,
 		TrustAnchor:          world.TrustAnchor,
 		Seed:                 opts.Seed,
+		Tracer:               opts.Tracer,
+		ProgressWriter:       opts.ProgressWriter,
+		ProgressInterval:     opts.ProgressInterval,
 	})
 }
 
@@ -153,6 +178,7 @@ func Run(ctx context.Context, opts Options) (*Study, error) {
 	elapsed := time.Since(start)
 
 	classifier := classify.New(world.Now)
+	classifier.Tracer = opts.Tracer
 	results := classifier.ClassifyAll(observations)
 	return &Study{
 		World:        world,

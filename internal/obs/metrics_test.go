@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(3)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge value = %d, want 0", got)
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram is not a no-op")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", DefLatencyBuckets) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Histograms != nil {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestNilInstrumentsAllocateNothing(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instruments allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestRegistrySharesInstrumentsByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("queries")
+	b := r.Counter("queries")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Add(2)
+	b.Inc()
+	if got := r.Counter("queries").Value(); got != 3 {
+		t.Fatalf("shared counter = %d, want 3", got)
+	}
+	if r.Histogram("lat", DefLatencyBuckets) != r.Histogram("lat", nil) {
+		t.Fatal("same name must return the same histogram regardless of bounds")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 6, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-38.5) > 1e-9 {
+		t.Fatalf("sum = %g, want 38.5", got)
+	}
+	// Median rank 4 falls in the (2,4] bucket (3 observations there,
+	// cumulative before it is 3) — interpolation stays inside (2,4].
+	if q := h.Quantile(0.5); q <= 2 || q > 4 {
+		t.Fatalf("p50 = %g, want in (2,4]", q)
+	}
+	// The max lives in the +Inf bucket; quantile caps at the last
+	// finite bound.
+	if q := h.Quantile(1.0); q != 8 {
+		t.Fatalf("p100 = %g, want 8 (last finite bound)", q)
+	}
+	if q := h.Quantile(0.5); h.Quantile(0.99) < q {
+		t.Fatalf("quantiles must be monotonic: p99 %g < p50 %g", h.Quantile(0.99), q)
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("resolver_queries_total").Add(42)
+	r.Gauge("scan_inflight").Set(3)
+	h := r.Histogram("resolver_query_seconds", DefLatencyBuckets)
+	h.Observe(0.002)
+	h.Observe(0.004)
+	h.Observe(1.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"resolver_queries_total": 42`,
+		`"scan_inflight": 3`,
+		`"resolver_query_seconds"`,
+		`"le": "inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["resolver_query_seconds"]
+	if hs.Count != 3 {
+		t.Fatalf("histogram snapshot count = %d, want 3", hs.Count)
+	}
+	last := hs.Buckets[len(hs.Buckets)-1]
+	if !math.IsInf(last.LE, 1) || last.Count != 3 {
+		t.Fatalf("+Inf bucket = %+v, want cumulative 3", last)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress prints periodic scan-progress lines (zones/s, ETA, error
+// rate) to a writer, typically stderr. Workers call Done once per
+// finished zone; a background ticker renders. A nil *Progress is a
+// no-op, so the scanner reports unconditionally.
+type Progress struct {
+	w        io.Writer
+	total    int64
+	done     atomic.Int64
+	failed   atomic.Int64
+	start    time.Time
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewProgress starts a reporter for total zones, emitting a line every
+// interval (default 2s when <= 0).
+func NewProgress(w io.Writer, total int, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	p := &Progress{w: w, total: int64(total), start: time.Now(), stop: make(chan struct{})}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tick.C:
+				p.render()
+			}
+		}
+	}()
+	return p
+}
+
+// Done records one finished zone. No-op on nil.
+func (p *Progress) Done(failed bool) {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+	if failed {
+		p.failed.Add(1)
+	}
+}
+
+// Stop halts the ticker and prints a final summary line. No-op on nil;
+// safe to call more than once.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.wg.Wait()
+		p.render()
+	})
+}
+
+func (p *Progress) render() {
+	done := p.done.Load()
+	failed := p.failed.Load()
+	elapsed := time.Since(p.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	rate := float64(done) / elapsed
+	eta := "?"
+	if rate > 0 && done < p.total {
+		eta = (time.Duration(float64(p.total-done)/rate) * time.Second).Truncate(time.Second).String()
+	} else if done >= p.total {
+		eta = "0s"
+	}
+	errRate := 0.0
+	if done > 0 {
+		errRate = 100 * float64(failed) / float64(done)
+	}
+	fmt.Fprintf(p.w, "progress: %d/%d zones (%.1f/s) eta %s err %.1f%%\n",
+		done, p.total, rate, eta, errRate)
+}

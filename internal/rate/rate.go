@@ -12,13 +12,14 @@ import (
 // Limiter is a token bucket: capacity burst, refilled at rate tokens
 // per second. The zero value is unusable; use NewLimiter.
 type Limiter struct {
-	mu     sync.Mutex
-	rate   float64
-	burst  float64
-	tokens float64
-	last   time.Time
-	now    func() time.Time
-	sleep  func(context.Context, time.Duration) error
+	mu       sync.Mutex
+	rate     float64
+	burst    float64
+	tokens   float64
+	last     time.Time
+	now      func() time.Time
+	sleep    func(context.Context, time.Duration) error
+	observer func(time.Duration)
 }
 
 // NewLimiter returns a limiter allowing ratePerSec events per second
@@ -51,6 +52,15 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// SetObserver registers fn to receive the time each successful Wait
+// spent blocked on the bucket. Immediate acquisitions are not reported,
+// so the observations measure rate-limit pressure, not call volume.
+func (l *Limiter) SetObserver(fn func(time.Duration)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observer = fn
 }
 
 // SetClock injects a fake clock; for tests.
@@ -95,29 +105,37 @@ func (l *Limiter) Wait(ctx context.Context) error {
 	if l.rate <= 0 {
 		return ctx.Err()
 	}
+	var blocked time.Duration
 	for {
 		l.mu.Lock()
 		l.refillLocked()
 		if l.tokens >= 1 {
 			l.tokens--
+			observer := l.observer
 			l.mu.Unlock()
+			if blocked > 0 && observer != nil {
+				observer(blocked)
+			}
 			return nil
 		}
 		need := (1 - l.tokens) / l.rate
 		sleep := l.sleep
 		l.mu.Unlock()
-		if err := sleep(ctx, time.Duration(need*float64(time.Second))); err != nil {
+		d := time.Duration(need * float64(time.Second))
+		if err := sleep(ctx, d); err != nil {
 			return err
 		}
+		blocked += d
 	}
 }
 
 // PerKey hands out one limiter per key (e.g. per nameserver address),
 // creating them on demand.
 type PerKey struct {
-	mu      sync.Mutex
-	make    func() *Limiter
-	limiter map[string]*Limiter
+	mu       sync.Mutex
+	make     func() *Limiter
+	limiter  map[string]*Limiter
+	observer func(time.Duration)
 }
 
 // NewPerKey returns a PerKey whose limiters allow ratePerSec with the
@@ -129,6 +147,18 @@ func NewPerKey(ratePerSec float64, burst int) *PerKey {
 	}
 }
 
+// SetObserver installs a blocked-wait observer on every limiter the
+// PerKey has created or will create (shared across keys, so one
+// histogram aggregates rate-limit pressure over all servers).
+func (p *PerKey) SetObserver(fn func(time.Duration)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observer = fn
+	for _, l := range p.limiter {
+		l.SetObserver(fn)
+	}
+}
+
 // Get returns the limiter for key, creating it if needed.
 func (p *PerKey) Get(key string) *Limiter {
 	p.mu.Lock()
@@ -136,6 +166,9 @@ func (p *PerKey) Get(key string) *Limiter {
 	l, ok := p.limiter[key]
 	if !ok {
 		l = p.make()
+		if p.observer != nil {
+			l.SetObserver(p.observer)
+		}
 		p.limiter[key] = l
 	}
 	return l

@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dnssecboot/internal/obs"
 )
 
 // Cache is the shared state behind a Resolver's caching layer. Create
@@ -213,6 +215,12 @@ type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
 	waits map[uint64]string // chain id -> flight key it is waiting on
+
+	// onWait, when set, is called (outside the lock) each time a chain
+	// registers as a waiter on a flight, with the flight's key. Tests
+	// use it for channel-based synchronisation instead of polling
+	// waiters() against a wall clock.
+	onWait func(key string)
 }
 
 // Do executes fn once for all concurrent callers sharing key. shared
@@ -230,7 +238,11 @@ func (g *flightGroup) Do(ctx context.Context, chain uint64, key string, fn func(
 			return v, false, e
 		}
 		g.waits[chain] = key
+		onWait := g.onWait
 		g.mu.Unlock()
+		if onWait != nil {
+			onWait(key)
+		}
 		select {
 		case <-c.done:
 			g.mu.Lock()
@@ -288,24 +300,38 @@ func (g *flightGroup) waiters() int {
 }
 
 // --- counter plumbing ---
+//
+// Each note* records the event on the resolver-wide instruments, the
+// per-zone QueryStats carried in the context, and — when the zone is
+// being traced — the zone's span. key names the cache entry involved
+// ("d:<zone>", "z:<zone>", "a:<host>").
 
-func (r *Resolver) noteCacheHit(ctx context.Context) {
-	r.cacheHits.Add(1)
+func (r *Resolver) noteCacheHit(ctx context.Context, key string) {
+	r.metrics().CacheHits.Inc()
 	if st := statsFrom(ctx); st != nil {
 		st.CacheHits.Add(1)
 	}
-}
-
-func (r *Resolver) noteCacheMiss(ctx context.Context) {
-	r.cacheMisses.Add(1)
-	if st := statsFrom(ctx); st != nil {
-		st.CacheMisses.Add(1)
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.Emit(obs.TraceEvent{Stage: "resolve", Event: "cache_hit", Name: key})
 	}
 }
 
-func (r *Resolver) noteCoalesced(ctx context.Context) {
-	r.coalesced.Add(1)
+func (r *Resolver) noteCacheMiss(ctx context.Context, key string) {
+	r.metrics().CacheMisses.Inc()
+	if st := statsFrom(ctx); st != nil {
+		st.CacheMisses.Add(1)
+	}
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.Emit(obs.TraceEvent{Stage: "resolve", Event: "cache_miss", Name: key})
+	}
+}
+
+func (r *Resolver) noteCoalesced(ctx context.Context, key string) {
+	r.metrics().Coalesced.Inc()
 	if st := statsFrom(ctx); st != nil {
 		st.Coalesced.Add(1)
+	}
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.Emit(obs.TraceEvent{Stage: "resolve", Event: "coalesced", Name: key})
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -170,20 +169,24 @@ func singleServerWorld(t *testing.T) (*Resolver, *gatedHandler) {
 	return r, gate
 }
 
-func waitFor(t *testing.T, what string, cond func() bool) {
+// awaitJoin receives one flight-join notification (sent by the
+// flightGroup's onWait hook) or fails the test. The hook fires after
+// the waiter is registered in the waits map, so by the time the signal
+// arrives the join is visible to cycle detection and to waiters() —
+// channel synchronisation instead of polling a wall-clock deadline.
+func awaitJoin(t *testing.T, joined <-chan string, what string) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		runtime.Gosched()
-		time.Sleep(time.Millisecond)
+	select {
+	case <-joined:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
 	}
 }
 
 func TestSingleflightCoalescesConcurrentDelegations(t *testing.T) {
 	r, gate := singleServerWorld(t)
+	joined := make(chan string, 8)
+	r.flight.onWait = func(key string) { joined <- key }
 	ctx := context.Background()
 
 	type res struct {
@@ -200,7 +203,7 @@ func TestSingleflightCoalescesConcurrentDelegations(t *testing.T) {
 		d, err := r.Delegation(ctx, "example.com.")
 		results <- res{d, err}
 	}()
-	waitFor(t, "second chain to join the flight", func() bool { return r.flight.waiters() == 1 })
+	awaitJoin(t, joined, "second chain to join the flight")
 	close(gate.gate)
 
 	for i := 0; i < 2; i++ {
@@ -223,6 +226,8 @@ func TestSingleflightCoalescesConcurrentDelegations(t *testing.T) {
 
 func TestConcurrentAddrsOfCoalesces(t *testing.T) {
 	r, gate := singleServerWorld(t)
+	joined := make(chan string, 8)
+	r.flight.onWait = func(key string) { joined <- key }
 	ctx := context.Background()
 
 	type res struct {
@@ -241,7 +246,7 @@ func TestConcurrentAddrsOfCoalesces(t *testing.T) {
 	}()
 	// Pre-fix the process-global inflight map made the second chain fail
 	// with ErrLoop; the flight group must instead let it piggyback.
-	waitFor(t, "second chain to join the flight", func() bool { return r.flight.waiters() == 1 })
+	awaitJoin(t, joined, "second chain to join the flight")
 	close(gate.gate)
 
 	for i := 0; i < 2; i++ {
@@ -268,6 +273,8 @@ func TestConcurrentAddrsOfCoalesces(t *testing.T) {
 // locally instead of deadlocking.
 func TestFlightGroupCycleFallback(t *testing.T) {
 	var g flightGroup
+	parked := make(chan string, 8)
+	g.onWait = func(key string) { parked <- key }
 	ctx := context.Background()
 	aLeads := make(chan struct{})
 	bLeads := make(chan struct{})
@@ -291,10 +298,12 @@ func TestFlightGroupCycleFallback(t *testing.T) {
 		<-aLeads
 		v, _, _ := g.Do(ctx, 2, "k2", func() (any, error) {
 			close(bLeads)
-			// Wait until chain 1 is parked on k2, completing the cycle.
-			deadline := time.Now().Add(5 * time.Second)
-			for g.waiters() == 0 && time.Now().Before(deadline) {
-				runtime.Gosched()
+			// Wait until chain 1 is parked on k2, completing the cycle
+			// (the onWait hook fires once chain 1 is registered).
+			select {
+			case <-parked:
+			case <-time.After(30 * time.Second):
+				t.Error("chain 1 never parked on k2")
 			}
 			inner, shared, _ := g.Do(ctx, 2, "k1", func() (any, error) {
 				return "k1-duplicated-locally", nil

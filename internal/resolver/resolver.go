@@ -53,15 +53,14 @@ type Resolver struct {
 	// coalesce onto one upstream query stream. Nil keeps the historical
 	// per-map caching behaviour.
 	Cache *Cache
+	// Obs, when non-nil, is the resolver's instrument set (usually
+	// NewMetrics over a shared obs.Registry). Nil lazily builds one on
+	// a private registry so the counter accessors keep working.
+	Obs *Metrics
 
-	queries     atomic.Int64
-	retries     atomic.Int64
-	gaveUp      atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	coalesced   atomic.Int64
-	health      healthTracker
-	flight      flightGroup
+	obsOnce sync.Once
+	health  healthTracker
+	flight  flightGroup
 
 	mu        sync.RWMutex
 	zoneCache map[string][]netip.AddrPort // zone apex -> authoritative addrs
@@ -70,25 +69,25 @@ type Resolver struct {
 }
 
 // Queries returns the number of DNS queries issued so far.
-func (r *Resolver) Queries() int64 { return r.queries.Load() }
+func (r *Resolver) Queries() int64 { return r.metrics().Queries.Value() }
 
 // Retries returns the number of retry attempts issued so far.
-func (r *Resolver) Retries() int64 { return r.retries.Load() }
+func (r *Resolver) Retries() int64 { return r.metrics().Retries.Value() }
 
 // GaveUp returns the number of exchanges that exhausted every retry
 // attempt without a usable answer.
-func (r *Resolver) GaveUp() int64 { return r.gaveUp.Load() }
+func (r *Resolver) GaveUp() int64 { return r.metrics().GaveUp.Value() }
 
 // CacheHits returns the number of lookups served from the shared cache
 // (zero when Cache is nil).
-func (r *Resolver) CacheHits() int64 { return r.cacheHits.Load() }
+func (r *Resolver) CacheHits() int64 { return r.metrics().CacheHits.Value() }
 
 // CacheMisses returns the number of cache probes that found no entry.
-func (r *Resolver) CacheMisses() int64 { return r.cacheMisses.Load() }
+func (r *Resolver) CacheMisses() int64 { return r.metrics().CacheMisses.Value() }
 
 // Coalesced returns the number of calls that piggybacked on another
 // chain's in-flight execution instead of issuing their own queries.
-func (r *Resolver) Coalesced() int64 { return r.coalesced.Load() }
+func (r *Resolver) Coalesced() int64 { return r.metrics().Coalesced.Value() }
 
 // ServerTripped reports whether the health tracker currently
 // deprioritises the address (circuit breaker open).
@@ -157,7 +156,7 @@ func (r *Resolver) Delegation(ctx context.Context, zoneName string) (*Delegation
 		return r.delegationFrom(ctx, zoneName, r.Roots, ".")
 	}
 	if err, ok := r.Cache.negLookup(zoneName); ok {
-		r.noteCacheHit(ctx)
+		r.noteCacheHit(ctx, "neg:"+zoneName)
 		return nil, err
 	}
 	ctx, chain := withChain(ctx)
@@ -170,7 +169,7 @@ func (r *Resolver) Delegation(ctx context.Context, zoneName string) (*Delegation
 		return d, derr
 	})
 	if shared {
-		r.noteCoalesced(ctx)
+		r.noteCoalesced(ctx, "d:"+zoneName)
 	}
 	if err != nil {
 		return nil, err
@@ -202,10 +201,10 @@ func (r *Resolver) zoneServers(ctx context.Context, zoneName string) ([]netip.Ad
 		return r.Roots, ".", nil
 	}
 	if e, ok := r.Cache.posLookup(zoneName); ok {
-		r.noteCacheHit(ctx)
+		r.noteCacheHit(ctx, "z:"+zoneName)
 		return e.servers, e.apex, nil
 	}
-	r.noteCacheMiss(ctx)
+	r.noteCacheMiss(ctx, "z:"+zoneName)
 	ctx, chain := withChain(ctx)
 	v, shared, err := r.flight.Do(ctx, chain, "z:"+zoneName, func() (any, error) {
 		d, derr := r.Delegation(ctx, zoneName)
@@ -230,7 +229,7 @@ func (r *Resolver) zoneServers(ctx context.Context, zoneName string) ([]netip.Ad
 		return e, nil
 	})
 	if shared {
-		r.noteCoalesced(ctx)
+		r.noteCoalesced(ctx, "z:"+zoneName)
 	}
 	if err != nil {
 		return nil, "", err
@@ -613,10 +612,10 @@ func (r *Resolver) AddrsOf(ctx context.Context, host string) ([]netip.Addr, erro
 // set, and coalesce concurrent chains through the flight group.
 func (r *Resolver) addrsOfCached(ctx context.Context, host string) ([]netip.Addr, error) {
 	if addrs, ok := r.Cache.addrLookup(host); ok {
-		r.noteCacheHit(ctx)
+		r.noteCacheHit(ctx, "a:"+host)
 		return addrs, nil
 	}
-	r.noteCacheMiss(ctx)
+	r.noteCacheMiss(ctx, "a:"+host)
 	ctx, chain := withChain(ctx)
 	ctx, visited := withVisited(ctx)
 	if visited[host] {
@@ -633,7 +632,7 @@ func (r *Resolver) addrsOfCached(ctx context.Context, host string) ([]netip.Addr
 		return addrs, nil
 	})
 	if shared {
-		r.noteCoalesced(ctx)
+		r.noteCoalesced(ctx, "a:"+host)
 	}
 	if err != nil {
 		return nil, err

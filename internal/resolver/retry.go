@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/obs"
 	"dnssecboot/internal/transport"
 )
 
@@ -228,19 +229,39 @@ func (h *healthTracker) order(servers []netip.AddrPort) []netip.AddrPort {
 // joined error.
 func (r *Resolver) Exchange(ctx context.Context, server netip.AddrPort, name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	attempts := r.Retry.attempts()
+	m := r.metrics()
+	sp := obs.SpanFrom(ctx)
 	var errs []error
 	var lastServFail *dnswire.Message
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			r.retries.Add(1)
-			if st := statsFrom(ctx); st != nil {
-				st.Retries.Add(1)
-			}
+			// The backoff sleep comes first: a cancelled wait aborts the
+			// exchange without a wire attempt, so it must not count as a
+			// retry (counting before the sleep inflated Retries by one
+			// phantom attempt per cancellation).
 			if err := r.Retry.sleep(ctx, server, name, attempt); err != nil {
 				return nil, err
 			}
+			m.Retries.Inc()
+			if st := statsFrom(ctx); st != nil {
+				st.Retries.Add(1)
+			}
+			if sp != nil {
+				sp.Emit(obs.TraceEvent{Stage: "query", Event: "retry", Server: server.String(),
+					Name: name, Qtype: qtype.String(), Attempt: attempt + 1})
+			}
 		}
 		resp, err := r.exchangeOnce(ctx, server, name, qtype)
+		if sp != nil {
+			ev := obs.TraceEvent{Stage: "query", Event: "attempt", Server: server.String(),
+				Name: name, Qtype: qtype.String(), Attempt: attempt + 1}
+			if err != nil {
+				ev.Err = err.Error()
+			} else {
+				ev.Rcode = resp.Rcode.String()
+			}
+			sp.Emit(ev)
+		}
 		switch {
 		case err == nil && resp.Rcode == dnswire.RcodeServFail:
 			r.health.note(server, false)
@@ -259,11 +280,17 @@ func (r *Resolver) Exchange(ctx context.Context, server netip.AddrPort, name str
 			return resp, nil
 		}
 	}
-	if attempts > 1 {
-		r.gaveUp.Add(1)
-		if st := statsFrom(ctx); st != nil {
-			st.GaveUp.Add(1)
-		}
+	// Every attempt failed: one gave-up per exhausted exchange. This
+	// includes single-attempt policies — "exhausted" means the query got
+	// no usable answer, however many tries the policy allowed (the old
+	// attempts>1 guard made unretried timeouts invisible to GaveUp).
+	m.GaveUp.Inc()
+	if st := statsFrom(ctx); st != nil {
+		st.GaveUp.Add(1)
+	}
+	if sp != nil {
+		sp.Emit(obs.TraceEvent{Stage: "query", Event: "gave_up", Server: server.String(),
+			Name: name, Qtype: qtype.String(), N: attempts})
 	}
 	if lastServFail != nil {
 		return lastServFail, nil
@@ -272,8 +299,9 @@ func (r *Resolver) Exchange(ctx context.Context, server netip.AddrPort, name str
 }
 
 // exchangeOnce performs a single attempt: rate limit, fresh query ID,
-// counting, optional per-attempt timeout.
+// counting, latency observation, optional per-attempt timeout.
 func (r *Resolver) exchangeOnce(ctx context.Context, server netip.AddrPort, name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	m := r.metrics()
 	if r.Limits != nil {
 		if err := r.Limits.Get(server.Addr().String()).Wait(ctx); err != nil {
 			return nil, err
@@ -281,7 +309,7 @@ func (r *Resolver) exchangeOnce(ctx context.Context, server netip.AddrPort, name
 	}
 	q := dnswire.NewQuery(nextID(), name, qtype)
 	q.SetEDNS(dnswire.EDNS{UDPSize: dnswire.MaxUDPPayload, DO: true})
-	r.queries.Add(1)
+	m.Queries.Inc()
 	if st := statsFrom(ctx); st != nil {
 		st.Queries.Add(1)
 	}
@@ -290,7 +318,9 @@ func (r *Resolver) exchangeOnce(ctx context.Context, server netip.AddrPort, name
 		ctx, cancel = context.WithTimeout(ctx, r.Retry.AttemptTimeout)
 		defer cancel()
 	}
+	start := time.Now()
 	resp, err := r.Net.Exchange(ctx, server, q)
+	m.QuerySeconds.ObserveSince(start)
 	if err != nil && ctx.Err() != nil && errors.Is(err, context.DeadlineExceeded) {
 		// A blown per-attempt budget is a timeout like any other.
 		err = fmt.Errorf("%w: %v", transport.ErrTimeout, err)

@@ -133,15 +133,33 @@ func (z *ZoneObservation) ToJSON() ObservationJSON {
 }
 
 // WriteJSONL streams observations to w, one JSON object per line.
+// Writes are flushed at record boundaries only, so a failing writer
+// never leaves a partial trailing line in the output, and every error
+// carries the zone name and record index of the record it interrupted.
 func WriteJSONL(w io.Writer, observations []*ZoneObservation) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	enc := json.NewEncoder(bw)
-	for _, obs := range observations {
-		if err := enc.Encode(obs.ToJSON()); err != nil {
-			return err
+	for i, obs := range observations {
+		line, err := json.Marshal(obs.ToJSON())
+		if err != nil {
+			return fmt.Errorf("scan: encoding record %d (zone %s): %w", i, obs.Zone, err)
+		}
+		line = append(line, '\n')
+		// Make room for the whole line before buffering any of it: a
+		// mid-line flush that fails would otherwise have emitted a
+		// fragment of this record.
+		if bw.Buffered() > 0 && bw.Available() < len(line) {
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("scan: writing record %d (zone %s): %w", i, obs.Zone, err)
+			}
+		}
+		if _, err := bw.Write(line); err != nil {
+			return fmt.Errorf("scan: writing record %d (zone %s): %w", i, obs.Zone, err)
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("scan: flushing %d records: %w", len(observations), err)
+	}
+	return nil
 }
 
 // ReadJSONL parses a JSONL export back into the serialised form (for

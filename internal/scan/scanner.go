@@ -3,13 +3,16 @@ package scan
 import (
 	"context"
 	"errors"
+	"fmt"
 	"hash/fnv"
+	"io"
 	"net/netip"
 	"sync"
 	"time"
 
 	"dnssecboot/internal/dnssec"
 	"dnssecboot/internal/dnswire"
+	"dnssecboot/internal/obs"
 	"dnssecboot/internal/resolver"
 	"dnssecboot/internal/transport"
 	"dnssecboot/internal/zone"
@@ -47,6 +50,14 @@ type Config struct {
 	// resilience a lossy network demands. Nil leaves the Resolver's own
 	// policy (possibly none) in place.
 	Retry *resolver.RetryPolicy
+	// Tracer, when non-nil, receives a per-zone span of trace events
+	// (resolve, query, validate stages) for every scanned zone.
+	Tracer *obs.Tracer
+	// ProgressWriter, when non-nil, receives live progress lines
+	// (zones/s, ETA, error rate) from ScanAll every ProgressInterval
+	// (default 2 s).
+	ProgressWriter   io.Writer
+	ProgressInterval time.Duration
 }
 
 // Scanner runs measurement scans.
@@ -81,6 +92,11 @@ func (s *Scanner) Validator() *Validator { return s.val }
 // the cancellation as their resolve error.
 func (s *Scanner) ScanAll(ctx context.Context, zones []string) []*ZoneObservation {
 	out := make([]*ZoneObservation, len(zones))
+	var progress *obs.Progress
+	if s.cfg.ProgressWriter != nil {
+		progress = obs.NewProgress(s.cfg.ProgressWriter, len(zones), s.cfg.ProgressInterval)
+	}
+	defer progress.Stop()
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, s.cfg.Concurrency)
 	for i, z := range zones {
@@ -107,6 +123,7 @@ func (s *Scanner) ScanAll(ctx context.Context, zones []string) []*ZoneObservatio
 			defer wg.Done()
 			defer func() { <-sem }()
 			out[i] = s.ScanZone(ctx, z)
+			progress.Done(out[i].ResolveErr != "")
 		}(i, z)
 	}
 	wg.Wait()
@@ -116,31 +133,52 @@ func (s *Scanner) ScanAll(ctx context.Context, zones []string) []*ZoneObservatio
 // ScanZone performs the full per-zone measurement.
 func (s *Scanner) ScanZone(ctx context.Context, zoneName string) *ZoneObservation {
 	zoneName = dnswire.CanonicalName(zoneName)
-	obs := &ZoneObservation{Zone: zoneName}
+	zo := &ZoneObservation{Zone: zoneName}
+	sp := s.cfg.Tracer.StartSpan(zoneName)
+	ctx = obs.WithSpan(ctx, sp)
 	ctx, stats := resolver.WithQueryStats(ctx)
 	defer func() {
-		obs.Queries = stats.Queries.Load()
-		obs.Retries = stats.Retries.Load()
-		obs.GaveUp = stats.GaveUp.Load()
-		obs.CacheHits = stats.CacheHits.Load()
-		obs.CacheMisses = stats.CacheMisses.Load()
-		obs.Coalesced = stats.Coalesced.Load()
+		zo.Queries = stats.Queries.Load()
+		zo.Retries = stats.Retries.Load()
+		zo.GaveUp = stats.GaveUp.Load()
+		zo.CacheHits = stats.CacheHits.Load()
+		zo.CacheMisses = stats.CacheMisses.Load()
+		zo.Coalesced = stats.Coalesced.Load()
+		if zo.ResolveErr != "" {
+			sp.End("resolve_error")
+		} else {
+			sp.End("ok")
+		}
 	}()
 
 	d, err := s.cfg.Resolver.Delegation(ctx, zoneName)
 	if err != nil {
-		obs.ResolveErr = err.Error()
-		return obs
+		zo.ResolveErr = err.Error()
+		if sp != nil {
+			sp.Emit(obs.TraceEvent{Stage: "resolve", Event: "delegation_error", Err: err.Error()})
+		}
+		return zo
 	}
-	obs.ParentZone = d.ParentZone
-	obs.ParentNS = d.NSHosts()
-	obs.DS = d.DS
-	obs.DSSigs = d.DSSigs
+	zo.ParentZone = d.ParentZone
+	zo.ParentNS = d.NSHosts()
+	zo.DS = d.DS
+	zo.DSSigs = d.DSSigs
+	if sp != nil {
+		sp.Emit(obs.TraceEvent{Stage: "resolve", Event: "delegation", Name: d.ParentZone,
+			Detail: fmt.Sprintf("parent=%s ns=%d ds=%d", d.ParentZone, len(zo.ParentNS), len(d.DS))})
+		if len(d.DS) == 0 {
+			// The referral from the parent is where a DS RRset would
+			// appear; record its absence explicitly so a -trace-zone dump
+			// of a secure island shows the missing DS at the parent.
+			sp.Emit(obs.TraceEvent{Stage: "resolve", Event: "ds_absent", Name: zoneName,
+				Qtype: "DS", Detail: "no DS at parent " + d.ParentZone})
+		}
+	}
 
 	// Resolve every NS host to its addresses.
 	var pairs []hostAddr
 	glue := glueMap(d.Glue)
-	for _, host := range obs.ParentNS {
+	for _, host := range zo.ParentNS {
 		addrs := glue[dnswire.CanonicalName(host)]
 		if len(addrs) == 0 {
 			if got, err := s.cfg.Resolver.AddrsOf(ctx, host); err == nil {
@@ -152,8 +190,8 @@ func (s *Scanner) ScanZone(ctx context.Context, zoneName string) *ZoneObservatio
 		}
 	}
 	if len(pairs) == 0 {
-		obs.ResolveErr = "no reachable nameserver addresses"
-		return obs
+		zo.ResolveErr = "no reachable nameserver addresses"
+		return zo
 	}
 
 	// Baseline queries against the first responsive server: SOA
@@ -168,13 +206,13 @@ func (s *Scanner) ScanZone(ctx context.Context, zoneName string) *ZoneObservatio
 		break
 	}
 	if alive == nil {
-		obs.ResolveErr = "no nameserver answered SOA"
-		return obs
+		zo.ResolveErr = "no nameserver answered SOA"
+		return zo
 	}
 	if resp, err := s.exchange(ctx, alive.addr, zoneName, dnswire.TypeNS); err == nil {
 		for _, rr := range resp.Answer {
 			if ns, ok := rr.Data.(*dnswire.NS); ok && dnswire.CanonicalName(rr.Name) == zoneName {
-				obs.ChildNS = append(obs.ChildNS, ns.Target)
+				zo.ChildNS = append(zo.ChildNS, ns.Target)
 			}
 		}
 	}
@@ -182,10 +220,10 @@ func (s *Scanner) ScanZone(ctx context.Context, zoneName string) *ZoneObservatio
 		for _, rr := range resp.Answer {
 			switch rd := rr.Data.(type) {
 			case *dnswire.DNSKEY:
-				obs.DNSKEY = append(obs.DNSKEY, rr)
+				zo.DNSKEY = append(zo.DNSKEY, rr)
 			case *dnswire.RRSIG:
 				if rd.TypeCovered == dnswire.TypeDNSKEY {
-					obs.DNSKEYSigs = append(obs.DNSKEYSigs, rr)
+					zo.DNSKEYSigs = append(zo.DNSKEYSigs, rr)
 				}
 			}
 		}
@@ -193,52 +231,79 @@ func (s *Scanner) ScanZone(ctx context.Context, zoneName string) *ZoneObservatio
 
 	// Per-NS CDS queries, with the sampling optimisation.
 	selected := pairs
-	if s.sampled(zoneName, obs.ParentNS) {
+	if s.sampled(zoneName, zo.ParentNS) {
 		selected = samplePairs(pairs)
-		obs.SampledNS = len(selected) < len(pairs)
+		zo.SampledNS = len(selected) < len(pairs)
+	}
+	if sp != nil && zo.SampledNS {
+		sp.Emit(obs.TraceEvent{Stage: "scan", Event: "ns_sampled",
+			Detail: fmt.Sprintf("querying %d of %d ns addresses", len(selected), len(pairs))})
 	}
 	for _, p := range selected {
-		obs.PerNS = append(obs.PerNS, s.observeNS(ctx, zoneName, p.host, p.addr))
+		zo.PerNS = append(zo.PerNS, s.observeNS(ctx, zoneName, p.host, p.addr))
 	}
 
 	// Chain validation: DS → DNSKEY, then the SOA RRset under those
 	// keys (the zone-passes-validation check).
-	if obs.IsSigned() && obs.HasDS() {
-		err := dnssec.VerifyChainLink(zoneName, obs.DS, obs.DNSKEY, obs.DNSKEYSigs, s.cfg.Now)
+	if zo.IsSigned() && zo.HasDS() {
+		err := dnssec.VerifyChainLink(zoneName, zo.DS, zo.DNSKEY, zo.DNSKEYSigs, s.cfg.Now)
 		if err == nil {
-			err = s.verifyApexSOA(ctx, alive.addr, zoneName, obs.DNSKEY)
+			err = s.verifyApexSOA(ctx, alive.addr, zoneName, zo.DNSKEY)
 		}
 		if err != nil {
-			obs.ChainErr = err.Error()
+			zo.ChainErr = err.Error()
 		} else {
-			obs.ChainValid = true
+			zo.ChainValid = true
 		}
-	} else if obs.IsSigned() {
+		if sp != nil {
+			sp.Emit(validateEvent("chain", zo.ChainErr))
+		}
+	} else if zo.IsSigned() {
 		// Secure island: still check internal consistency so classify
 		// can distinguish well-signed islands from broken ones.
-		err := dnssec.VerifyRRset(obs.DNSKEY, obs.DNSKEYSigs, obs.DNSKEY, s.cfg.Now)
+		err := dnssec.VerifyRRset(zo.DNSKEY, zo.DNSKEYSigs, zo.DNSKEY, s.cfg.Now)
 		if err == nil {
-			err = s.verifyApexSOA(ctx, alive.addr, zoneName, obs.DNSKEY)
+			err = s.verifyApexSOA(ctx, alive.addr, zoneName, zo.DNSKEY)
 		}
 		if err != nil {
-			obs.ChainErr = err.Error()
+			zo.ChainErr = err.Error()
 		} else {
-			obs.ChainValid = true
+			zo.ChainValid = true
+		}
+		if sp != nil {
+			sp.Emit(validateEvent("island_consistency", zo.ChainErr))
 		}
 	}
 
 	// RFC 9615 signal probes.
-	if s.cfg.ProbeSignals && (!s.cfg.SignalOnlyCandidates || s.signalCandidate(obs)) {
+	if s.cfg.ProbeSignals && (!s.cfg.SignalOnlyCandidates || s.signalCandidate(zo)) {
 		// Probe the union of parent- and child-side NS hosts: RFC 9615
 		// requires signals under every NS, and disagreements between
 		// the two views are exactly the Cloudflare misconfiguration the
 		// paper reports (§4.4).
-		for _, host := range obs.AllNSHosts() {
-			obs.Signals = append(obs.Signals, s.probeSignal(ctx, zoneName, dnswire.CanonicalName(host)))
+		for _, host := range zo.AllNSHosts() {
+			sig := s.probeSignal(ctx, zoneName, dnswire.CanonicalName(host))
+			zo.Signals = append(zo.Signals, sig)
+			if sp != nil {
+				sp.Emit(obs.TraceEvent{Stage: "scan", Event: "signal_probe", Name: sig.Owner,
+					Server: sig.NSHost, Outcome: sig.Outcome.String(), N: len(sig.Records)})
+			}
 		}
-		s.checkZoneCuts(ctx, obs)
+		s.checkZoneCuts(ctx, zo)
 	}
-	return obs
+	return zo
+}
+
+// validateEvent builds the validate-stage trace event for one check.
+func validateEvent(check, chainErr string) obs.TraceEvent {
+	ev := obs.TraceEvent{Stage: "validate", Event: check}
+	if chainErr != "" {
+		ev.Err = chainErr
+		ev.Outcome = "invalid"
+	} else {
+		ev.Outcome = "valid"
+	}
+	return ev
 }
 
 func (s *Scanner) signalCandidate(obs *ZoneObservation) bool {
@@ -286,13 +351,20 @@ func (s *Scanner) sampled(zoneName string, hosts []string) bool {
 			return false
 		}
 	}
+	// The seed bytes must enter the hash BEFORE the zone name. FNV-64a
+	// is h = (h0 ^ b0)·p ... — appending the seed last leaves the
+	// difference between two seeds' hashes a small constant times p^8,
+	// so switching seeds flipped far fewer decisions than independent
+	// draws would (measured: 31% of zones at F=0.5, expected ~50%).
+	// Seeding first re-mixes every zone-name byte through a different
+	// initial state, decorrelating the sampled sets across seeds.
 	h := fnv.New64a()
-	h.Write([]byte(zoneName))
 	var seed [8]byte
 	for i := range seed {
 		seed[i] = byte(s.cfg.Seed >> (8 * i))
 	}
 	h.Write(seed[:])
+	h.Write([]byte(zoneName))
 	frac := float64(h.Sum64()%10000) / 10000
 	return frac >= s.cfg.FullScanFraction
 }
