@@ -190,6 +190,39 @@ func BenchmarkScanThroughput(b *testing.B) {
 	b.ReportMetric(float64(len(targets))*float64(b.N)/b.Elapsed().Seconds(), "zones/s")
 }
 
+// BenchmarkScanStream measures the streaming pipeline against the
+// same workload as BenchmarkScanThroughput: identical scanner
+// configuration, but observations flow through the order-restoring
+// emitter to a discarding sink instead of materialising in one slice.
+// peak_live reports the high-water mark of dispatched-but-unemitted
+// zones — the streaming memory bound.
+func BenchmarkScanStream(b *testing.B) {
+	study := benchStudy(b)
+	scanner := core.NewScanner(study.World, core.Options{Seed: 2, Concurrency: 16})
+	targets := study.World.Targets
+	if len(targets) > 512 {
+		targets = targets[:512]
+	}
+	ctx := context.Background()
+	peak := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := scanner.ScanStream(ctx, targets, scan.StreamOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Next != len(targets) {
+			b.Fatalf("stream stopped at %d/%d", res.Next, len(targets))
+		}
+		if res.PeakLive > peak {
+			peak = res.PeakLive
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(targets))*float64(b.N)/b.Elapsed().Seconds(), "zones/s")
+	b.ReportMetric(float64(peak), "peak_live")
+}
+
 // BenchmarkScanLossy measures scan throughput under 5 % injected
 // packet loss with the retry policy absorbing the drops — the cost of
 // resilience relative to BenchmarkScanThroughput. It generates its own

@@ -10,27 +10,68 @@
 //
 // -scale divides the paper's population counts; -out selects one
 // artefact (default: all).
+//
+// The scan streams: each zone's observation is classified, folded into
+// the report tallies and (with -dump) appended to the JSONL export as
+// soon as its turn in the target order arrives, so memory stays bounded
+// by the concurrency window regardless of -scale. With -checkpoint the
+// durable prefix is recorded periodically; an interrupted run (crash or
+// SIGINT, which drains in-flight zones gracefully) continues with
+// -resume from exactly where the export stopped.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	_ "expvar" // registers /debug/vars on DefaultServeMux
 
+	"dnssecboot/internal/classify"
 	"dnssecboot/internal/core"
 	"dnssecboot/internal/ecosystem"
 	"dnssecboot/internal/obs"
+	"dnssecboot/internal/report"
 	"dnssecboot/internal/scan"
 )
+
+// runConfig is the flag fingerprint embedded in checkpoints. A resume
+// with a different fingerprint is refused: these flags change what the
+// scan observes, so mixing them in one export would corrupt it.
+// Concurrency is deliberately absent — it changes scheduling, never
+// per-zone results.
+type runConfig struct {
+	Seed         int64   `json:"seed"`
+	Scale        int     `json:"scale"`
+	Year         int     `json:"year,omitempty"`
+	MaxZones     int     `json:"max_zones,omitempty"`
+	ShortCircuit bool    `json:"short_circuit,omitempty"`
+	NoSignals    bool    `json:"no_signals,omitempty"`
+	Rate         float64 `json:"rate,omitempty"`
+	Loss         float64 `json:"loss,omitempty"`
+	Retries      int     `json:"retries,omitempty"`
+	ChaosSeed    int64   `json:"chaos_seed,omitempty"`
+	Cache        bool    `json:"cache"`
+	Stateless    bool    `json:"stateless,omitempty"`
+	CacheNegTTL  string  `json:"cache_neg_ttl,omitempty"`
+	Dump         bool    `json:"dump,omitempty"`
+}
+
+func fatal(prefix string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prefix, err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -42,12 +83,13 @@ func main() {
 		maxZones     = flag.Int("max-zones", 0, "scan at most this many zones (0 = all)")
 		rate         = flag.Float64("rate", 0, "queries/second per nameserver (0 = unlimited; the paper used 50)")
 		noSignals    = flag.Bool("no-signals", false, "skip RFC 9615 signal probes")
-		dump         = flag.String("dump", "", "write raw observations as JSON lines to this file")
+		dump         = flag.String("dump", "", "stream raw observations as JSON lines to this file")
 		year         = flag.Int("year", 0, "generate a historical epoch instead of the 2025 population (e.g. 2017)")
 		csvDir       = flag.String("csv-dir", "", "also write table1/2/3 + figure1 as CSV files into this directory")
 		loss         = flag.Float64("loss", 0, "inject this packet-loss probability on every simulated exchange (e.g. 0.02)")
 		retries      = flag.Int("retries", 1, "query attempts per server for transient failures (1 = no retries)")
 		chaosSeed    = flag.Int64("chaos-seed", 0, "seed for fault-injection and retry jitter (0 = use -seed)")
+		stateless    = flag.Bool("stateless", false, "pure per-zone resolution: no caches at all, byte-reproducible -dump across runs and resumes")
 		cache        = flag.Bool("cache", true, "shared delegation cache + singleflight deduplication (false = re-walk the root per zone)")
 		cacheNegTTL  = flag.Duration("cache-neg-ttl", time.Minute, "how long NXDOMAIN/lame results are served from the negative cache")
 		metricsOut   = flag.String("metrics-out", "", "write a JSON metrics snapshot (counters, latency histograms) to this file after the scan")
@@ -55,6 +97,9 @@ func main() {
 		traceZone    = flag.String("trace-zone", "", "restrict -trace-out to this zone's full decision trace")
 		progress     = flag.Bool("progress", false, "print live scan progress (zones/s, ETA, error rate) to stderr")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		checkpoint   = flag.String("checkpoint", "", "periodically persist resumable scan state to this file")
+		cpEvery      = flag.Int("checkpoint-every", 256, "zones between checkpoints (with -checkpoint)")
+		resume       = flag.String("resume", "", "resume an interrupted scan from this checkpoint file")
 	)
 	flag.Parse()
 	if *loss > 0 && *retries <= 1 {
@@ -63,6 +108,11 @@ func main() {
 	if *traceZone != "" && *traceOut == "" {
 		fmt.Fprintln(os.Stderr, "-trace-zone requires -trace-out")
 		os.Exit(2)
+	}
+	cpPath := *checkpoint
+	if cpPath == "" {
+		// -resume alone keeps checkpointing to the same file.
+		cpPath = *resume
 	}
 
 	var registry *obs.Registry
@@ -73,8 +123,7 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+			fatal("trace", err)
 		}
 		defer f.Close()
 		tracer = obs.NewTracer(f, *traceZone)
@@ -99,74 +148,224 @@ func main() {
 	}
 	world, err := ecosystem.Generate(gcfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "generating world:", err)
-		os.Exit(1)
+		fatal("generating world", err)
+	}
+	targets := world.Targets
+	if *maxZones > 0 && len(targets) > *maxZones {
+		targets = targets[:*maxZones]
 	}
 	fmt.Fprintf(os.Stderr, "generated %d zones across %d operators in %v\n",
 		len(world.Targets), len(world.Operators()), time.Since(genStart).Round(time.Millisecond))
 
-	study, err := core.Run(context.Background(), core.Options{
-		Seed:                  *seed,
-		World:                 world,
-		Concurrency:           *concurrency,
-		SignalOnlyCandidates:  *shortCircuit,
-		DisableSignalProbes:   *noSignals,
-		MaxZones:              *maxZones,
-		QueriesPerSecondPerNS: *rate,
-		LossRate:              *loss,
-		RetryAttempts:         *retries,
-		ChaosSeed:             *chaosSeed,
-		DisableCache:          !*cache,
-		CacheNegTTL:           *cacheNegTTL,
-		Registry:              registry,
-		Tracer:                tracer,
-		ProgressWriter:        progressW,
+	cfgFP, err := json.Marshal(runConfig{
+		Seed:         *seed,
+		Scale:        *scale,
+		Year:         *year,
+		MaxZones:     *maxZones,
+		ShortCircuit: *shortCircuit,
+		NoSignals:    *noSignals,
+		Rate:         *rate,
+		Loss:         *loss,
+		Retries:      *retries,
+		ChaosSeed:    *chaosSeed,
+		Cache:        *cache && !*stateless,
+		Stateless:    *stateless,
+		CacheNegTTL:  cacheNegTTL.String(),
+		Dump:         *dump != "",
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scan:", err)
-		os.Exit(1)
+		fatal("config", err)
 	}
-	fmt.Fprintf(os.Stderr, "scanned %d zones in %v\n", len(study.Results), study.Elapsed.Round(time.Millisecond))
+
+	// Resume: restore the accumulator, re-open the dump at the last
+	// durable record, and continue from the checkpointed index.
+	startIndex := 0
+	agg := report.NewAggregate()
+	var dumpFile *os.File
+	var dumpBase int64
+	if *resume != "" {
+		cp, err := scan.ReadCheckpoint(*resume)
+		if err != nil {
+			fatal("resume", err)
+		}
+		if err := cp.Validate(*seed, len(targets)); err != nil {
+			fatal("resume", err)
+		}
+		// The checkpoint file is written indented, so compact the stored
+		// fingerprint before comparing it to the freshly-marshalled one.
+		var stored bytes.Buffer
+		if err := json.Compact(&stored, cp.Config); err != nil {
+			fatal("resume", fmt.Errorf("checkpoint config fingerprint: %w", err))
+		}
+		if !bytes.Equal(stored.Bytes(), cfgFP) {
+			fatal("resume", fmt.Errorf("checkpoint was taken with different flags: %s", stored.Bytes()))
+		}
+		if len(cp.Aggregate) > 0 {
+			if agg, err = report.UnmarshalState(cp.Aggregate); err != nil {
+				fatal("resume", err)
+			}
+		}
+		startIndex = cp.NextIndex
+		if *dump != "" {
+			f, err := os.OpenFile(*dump, os.O_RDWR, 0o644)
+			if err != nil {
+				fatal("resume", err)
+			}
+			// Records written after the last checkpoint are not covered
+			// by it; truncate them away and re-scan those zones instead
+			// of exporting duplicates.
+			if err := f.Truncate(cp.DumpBytes); err != nil {
+				fatal("resume", err)
+			}
+			if _, err := f.Seek(cp.DumpBytes, io.SeekStart); err != nil {
+				fatal("resume", err)
+			}
+			dumpFile = f
+			dumpBase = cp.DumpBytes
+		}
+		fmt.Fprintf(os.Stderr, "resuming at zone %d/%d from %s\n", startIndex, len(targets), *resume)
+	} else if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatal("dump", err)
+		}
+		dumpFile = f
+	}
+
+	var writer *scan.JSONLWriter
+	if dumpFile != nil {
+		writer = scan.NewJSONLWriter(dumpFile)
+	}
+
+	writeCheckpoint := func(next int) error {
+		if writer != nil {
+			if err := writer.Flush(); err != nil {
+				return err
+			}
+		}
+		state, err := agg.MarshalState()
+		if err != nil {
+			return err
+		}
+		cp := &scan.Checkpoint{
+			Version:    scan.CheckpointVersion,
+			Seed:       *seed,
+			ChaosSeed:  *chaosSeed,
+			TotalZones: len(targets),
+			NextIndex:  next,
+			Config:     cfgFP,
+			Aggregate:  state,
+		}
+		if writer != nil {
+			cp.DumpBytes = dumpBase + writer.Bytes()
+		}
+		return scan.WriteCheckpoint(cpPath, cp)
+	}
+
+	// SIGINT/SIGTERM drain the pipeline gracefully: stop dispatching,
+	// finish in-flight zones, flush the export, take a final checkpoint
+	// and exit 0. A second signal aborts immediately.
+	drain := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "interrupt: draining in-flight zones (interrupt again to abort)")
+		close(drain)
+		<-sigs
+		os.Exit(130)
+	}()
+
+	study, err := core.RunStream(context.Background(), core.StreamOptions{
+		Options: core.Options{
+			Seed:                  *seed,
+			World:                 world,
+			Concurrency:           *concurrency,
+			SignalOnlyCandidates:  *shortCircuit,
+			DisableSignalProbes:   *noSignals,
+			MaxZones:              *maxZones,
+			QueriesPerSecondPerNS: *rate,
+			LossRate:              *loss,
+			RetryAttempts:         *retries,
+			ChaosSeed:             *chaosSeed,
+			DisableCache:          !*cache,
+			Stateless:             *stateless,
+			CacheNegTTL:           *cacheNegTTL,
+			Registry:              registry,
+			Tracer:                tracer,
+			ProgressWriter:        progressW,
+		},
+		StartIndex: startIndex,
+		Resume:     agg,
+		Drain:      drain,
+		Sink: func(i int, zo *scan.ZoneObservation, _ *classify.Result) error {
+			if writer != nil {
+				if err := writer.Write(zo); err != nil {
+					return err
+				}
+			}
+			if cpPath != "" && *cpEvery > 0 && (i+1-startIndex)%*cpEvery == 0 && i+1 < len(targets) {
+				return writeCheckpoint(i + 1)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		fatal("scan", err)
+	}
+	signal.Stop(sigs)
+	fmt.Fprintf(os.Stderr, "scanned %d zones in %v (%d/%d exported)\n",
+		study.Scanned, study.Elapsed.Round(time.Millisecond), study.NextIndex, study.TotalZones)
+
+	if writer != nil {
+		if err := writer.Flush(); err != nil {
+			fatal("dump", err)
+		}
+	}
+	if cpPath != "" {
+		if err := writeCheckpoint(study.NextIndex); err != nil {
+			fatal("checkpoint", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote checkpoint to %s\n", cpPath)
+	}
+	if dumpFile != nil {
+		if err := dumpFile.Close(); err != nil {
+			fatal("dump", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote observations to %s\n", *dump)
+	}
 
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+			fatal("trace", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tracer.Events(), *traceOut)
 	}
 	if registry != nil {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "metrics:", err)
-			os.Exit(1)
+			fatal("metrics", err)
 		}
 		if err := registry.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics:", err)
-			os.Exit(1)
+			fatal("metrics", err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics:", err)
-			os.Exit(1)
+			fatal("metrics", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
 	}
 
-	if *dump != "" {
-		f, err := os.Create(*dump)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dump:", err)
-			os.Exit(1)
+	if study.Drained {
+		// The run stopped early on purpose; partial tables would be
+		// misleading, so just explain how to pick the scan back up.
+		if cpPath != "" {
+			fmt.Fprintf(os.Stderr, "interrupted at zone %d/%d; continue with: dnssec-scan -resume %s [same flags]\n",
+				study.NextIndex, study.TotalZones, cpPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "interrupted at zone %d/%d (no -checkpoint: the scan cannot be resumed)\n",
+				study.NextIndex, study.TotalZones)
 		}
-		if err := scan.WriteJSONL(f, study.Observations); err != nil {
-			fmt.Fprintln(os.Stderr, "dump:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dump:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote observations to %s\n", *dump)
+		return
 	}
 
 	r := study.Report
@@ -174,12 +373,10 @@ func main() {
 		for _, artefact := range []string{"table1", "table2", "table3", "figure1"} {
 			f, err := os.Create(filepath.Join(*csvDir, artefact+".csv"))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "csv:", err)
-				os.Exit(1)
+				fatal("csv", err)
 			}
 			if err := r.WriteCSV(f, artefact); err != nil {
-				fmt.Fprintln(os.Stderr, "csv:", err)
-				os.Exit(1)
+				fatal("csv", err)
 			}
 			_ = f.Close()
 		}

@@ -51,22 +51,25 @@ func main() {
 		}
 		defer f.Close()
 	}
-	raw, err := scan.ReadJSONL(f)
+	// Stream: decode → reconstruct → classify → fold one record at a
+	// time, so a full-scale dump re-analyses in constant memory (the
+	// paper's campaign dump would not fit in RAM as a slice).
+	classifier := classify.New(ts)
+	r := report.NewAggregate()
+	count := 0
+	err = scan.DecodeJSONL(f, func(o scan.ObservationJSON) error {
+		zo, err := scan.FromJSON(o)
+		if err != nil {
+			return err
+		}
+		r.Add(classifier.Classify(zo))
+		count++
+		return nil
+	})
 	if err != nil {
 		fatal(err)
 	}
-	observations := make([]*scan.ZoneObservation, 0, len(raw))
-	for _, o := range raw {
-		obs, err := scan.FromJSON(o)
-		if err != nil {
-			fatal(err)
-		}
-		observations = append(observations, obs)
-	}
-	fmt.Fprintf(os.Stderr, "reanalyze: loaded %d observations\n", len(observations))
-
-	results := classify.New(ts).ClassifyAll(observations)
-	r := report.Build(results)
+	fmt.Fprintf(os.Stderr, "reanalyze: classified %d observations\n", count)
 	artefacts := map[string]func() string{
 		"headline": r.Headline,
 		"table1":   func() string { return r.Table1(20) },

@@ -56,6 +56,21 @@ func (s Status) String() string {
 	return "?"
 }
 
+// Statuses lists every deployment status, for iteration (checkpoint
+// state round-trips, exhaustive tests).
+var Statuses = []Status{StatusUnresolved, StatusUnsigned, StatusSecured, StatusInvalid, StatusIsland}
+
+// StatusFromString inverts Status.String — the decode side of the
+// checkpoint accumulator state.
+func StatusFromString(s string) (Status, bool) {
+	for _, st := range Statuses {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return 0, false
+}
+
 // CDSInfo is the §4.2 view of a zone's CDS/CDNSKEY publication.
 type CDSInfo struct {
 	// Present: at least one nameserver served CDS or CDNSKEY records.
@@ -123,6 +138,25 @@ func (p Potential) String() string {
 		return "possible to bootstrap"
 	}
 	return "?"
+}
+
+// Potentials lists every Figure-1 bucket, for iteration (checkpoint
+// state round-trips, exhaustive tests).
+var Potentials = []Potential{
+	PotentialNone, PotentialAlreadySecured, PotentialInvalidDNSSEC,
+	PotentialIslandNoCDS, PotentialIslandInvalidCDS, PotentialIslandDelete,
+	PotentialBootstrap,
+}
+
+// PotentialFromString inverts Potential.String — the decode side of
+// the checkpoint accumulator state.
+func PotentialFromString(s string) (Potential, bool) {
+	for _, p := range Potentials {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return 0, false
 }
 
 // SignalViolation is one way a zone's RFC 9615 signalling fails.

@@ -69,6 +69,13 @@ type Options struct {
 	// singleflight deduplication, restoring the seed pipeline's
 	// re-walk-the-root-per-zone behaviour. The cache is on by default.
 	DisableCache bool
+	// Stateless makes every zone's scan a pure function of (zone,
+	// world): it implies DisableCache and additionally disables the
+	// resolver's legacy memo maps, so per-zone query counts no longer
+	// depend on scan history or concurrency. This is the mode that
+	// makes a streamed JSONL export byte-identical across runs and
+	// across checkpoint resumes.
+	Stateless bool
 	// CacheNegTTL bounds how long negative (NXDOMAIN / lame) results
 	// are served from the cache. Zero uses the resolver default (60 s).
 	CacheNegTTL time.Duration
@@ -111,7 +118,9 @@ func NewScanner(world *ecosystem.Ecosystem, opts Options) *scan.Scanner {
 	if opts.Registry != nil {
 		r.Obs = resolver.NewMetrics(opts.Registry)
 	}
-	if !opts.DisableCache {
+	if opts.Stateless {
+		r.Stateless = true
+	} else if !opts.DisableCache {
 		r.Cache = resolver.NewCache(opts.CacheNegTTL)
 	}
 	if opts.QueriesPerSecondPerNS > 0 {
@@ -149,6 +158,7 @@ func NewScanner(world *ecosystem.Ecosystem, opts Options) *scan.Scanner {
 		SignalOnlyCandidates: opts.SignalOnlyCandidates,
 		TrustAnchor:          world.TrustAnchor,
 		Seed:                 opts.Seed,
+		Stateless:            opts.Stateless,
 		Tracer:               opts.Tracer,
 		ProgressWriter:       opts.ProgressWriter,
 		ProgressInterval:     opts.ProgressInterval,

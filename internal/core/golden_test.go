@@ -1,0 +1,98 @@
+// Golden end-to-end test: the full pipeline at -scale 500000 -seed 1
+// must render the exact artefact set checked in under testdata/. This
+// pins the whole chain — world generation, scan, classification,
+// aggregation, table rendering — so any unintended change to any layer
+// shows up as a readable table diff. Refresh the fixture after an
+// intentional change with:
+//
+//	go test ./internal/core/ -run TestGoldenArtefacts -update-golden
+package core
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden artefact fixture")
+
+const goldenPath = "testdata/golden_scale500000_seed1.txt"
+
+// goldenArtefacts renders the classification-bearing artefacts.
+// QueryStats is deliberately excluded: query counters depend on cache
+// history and concurrency, while classifications must not.
+func goldenArtefacts(s *Study) string {
+	r := s.Report
+	var b strings.Builder
+	for _, section := range []struct {
+		name   string
+		render func() string
+	}{
+		{"headline", r.Headline},
+		{"figure1", r.Figure1},
+		{"table1", func() string { return r.Table1(20) }},
+		{"table2", func() string { return r.Table2(20) }},
+		{"cds", r.CDSFindings},
+		{"table3", r.Table3},
+	} {
+		fmt.Fprintf(&b, "== %s ==\n%s\n\n", section.name, section.render())
+	}
+	return b.String()
+}
+
+func TestGoldenArtefacts(t *testing.T) {
+	study, err := Run(context.Background(), Options{Seed: 1, ScaleDivisor: 500_000, Concurrency: 8})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := goldenArtefacts(study)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading fixture (run with -update-golden to create it): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Readable diff: report the first divergent line with context, not
+	// two multi-kilobyte blobs.
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		g, w := "", ""
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			lo := i - 2
+			if lo < 0 {
+				lo = 0
+			}
+			var ctx strings.Builder
+			for j := lo; j < i && j < len(gl); j++ {
+				fmt.Fprintf(&ctx, "  %4d   %s\n", j+1, gl[j])
+			}
+			t.Fatalf("artefacts diverge from %s at line %d:\n%s  %4d - %s\n  %4d + %s\n(rerun with -update-golden after an intentional change)",
+				goldenPath, i+1, ctx.String(), i+1, w, i+1, g)
+		}
+	}
+	t.Fatalf("artefacts differ from %s only in trailing content: got %d lines, want %d",
+		goldenPath, len(gl), len(wl))
+}

@@ -214,8 +214,17 @@ func (e *Ecosystem) buildTLDs() error {
 		}
 	}
 	// Second-level registries (co.uk under uk, com.bo under bo) hosted
-	// on the parent registry's server.
-	for sub, parent := range secondLevelRegistries {
+	// on the parent registry's server. Iterate in sorted order: ranging
+	// the map directly would consume e.rng in per-process-random order,
+	// giving the registries different keys from run to run and breaking
+	// the seed-determines-world guarantee.
+	subs := make([]string, 0, len(secondLevelRegistries))
+	for sub := range secondLevelRegistries {
+		subs = append(subs, sub)
+	}
+	sort.Strings(subs)
+	for _, sub := range subs {
+		parent := secondLevelRegistries[sub]
 		origin := sub + "."
 		p := e.tlds[parent]
 		z := zone.New(origin)

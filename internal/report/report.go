@@ -71,99 +71,112 @@ type Aggregate struct {
 	Coalesced   int64
 }
 
-// Build aggregates classification results.
-func Build(results []*classify.Result) *Aggregate {
-	a := &Aggregate{
+// NewAggregate returns an empty streaming accumulator. Feed it one
+// classification at a time with Add; every table and figure renders
+// from the running tallies, so a scan never has to retain its
+// observations or results.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
 		ByStatus:  make(map[classify.Status]int),
 		ByBucket:  make(map[classify.Potential]int),
 		Operators: make(map[string]*OperatorStats),
 	}
+}
+
+// Build aggregates a batch of classification results.
+func Build(results []*classify.Result) *Aggregate {
+	a := NewAggregate()
 	for _, r := range results {
-		a.Total++
-		a.Queries += r.Queries
-		a.Retries += r.Retries
-		a.GaveUp += r.GaveUp
-		a.CacheHits += r.CacheHits
-		a.CacheMisses += r.CacheMisses
-		a.Coalesced += r.Coalesced
-		if r.Status == classify.StatusUnresolved {
-			a.Unresolved++
-			continue
-		}
-		a.ByStatus[r.Status]++
-		a.ByBucket[r.Bucket]++
+		a.Add(r)
+	}
+	return a
+}
 
-		op := a.op(r.Operator.Operator)
-		op.Domains++
-		switch r.Status {
-		case classify.StatusUnsigned:
-			op.Unsigned++
-		case classify.StatusSecured:
-			op.Secured++
-		case classify.StatusInvalid:
-			op.Invalid++
-		case classify.StatusIsland:
-			op.Islands++
-		}
+// Add folds one zone's classification into the running tallies.
+func (a *Aggregate) Add(r *classify.Result) {
+	a.Total++
+	a.Queries += r.Queries
+	a.Retries += r.Retries
+	a.GaveUp += r.GaveUp
+	a.CacheHits += r.CacheHits
+	a.CacheMisses += r.CacheMisses
+	a.Coalesced += r.Coalesced
+	if r.Status == classify.StatusUnresolved {
+		a.Unresolved++
+		return
+	}
+	a.ByStatus[r.Status]++
+	a.ByBucket[r.Bucket]++
 
-		if r.CDS.QueryFailed {
-			a.CDSQueryFailed++
+	op := a.op(r.Operator.Operator)
+	op.Domains++
+	switch r.Status {
+	case classify.StatusUnsigned:
+		op.Unsigned++
+	case classify.StatusSecured:
+		op.Secured++
+	case classify.StatusInvalid:
+		op.Invalid++
+	case classify.StatusIsland:
+		op.Islands++
+	}
+
+	if r.CDS.QueryFailed {
+		a.CDSQueryFailed++
+	}
+	if r.CDS.Present {
+		a.CDSPresent++
+		op.CDS++
+		if !r.CDS.Consistent {
+			a.CDSInconsistent++
+			if r.Operator.MultiOperator {
+				a.CDSInconsistentMO++
+			}
 		}
-		if r.CDS.Present {
-			a.CDSPresent++
-			op.CDS++
-			if !r.CDS.Consistent {
-				a.CDSInconsistent++
-				if r.Operator.MultiOperator {
-					a.CDSInconsistentMO++
-				}
-			}
-			if r.CDS.InUnsignedZone {
-				a.CDSInUnsigned++
-				if r.CDS.Delete {
-					a.CDSDeleteUnsigned++
-				}
-			}
+		if r.CDS.InUnsignedZone {
+			a.CDSInUnsigned++
 			if r.CDS.Delete {
-				switch r.Status {
-				case classify.StatusSecured:
-					a.CDSDeleteSecured++
-				case classify.StatusIsland:
-					a.CDSDeleteIslands++
-					op.DeleteIslands++
-				}
-			}
-			if r.Status == classify.StatusIsland && !r.CDS.Delete && r.CDS.Consistent {
-				if !r.CDS.MatchesDNSKEY {
-					a.CDSOrphan++
-				} else if !r.CDS.SigValid {
-					a.CDSBadSig++
-				}
+				a.CDSDeleteUnsigned++
 			}
 		}
-
-		if r.Signal.HasSignal {
-			op.WithSignal++
-			switch {
-			case r.Signal.AlreadySecured:
-				op.AlreadySecured++
-			case r.Signal.DeletionRequest:
-				op.CannotBootstrap++
-				op.DeletionRequest++
-			case r.Signal.InvalidDNSSEC:
-				op.CannotBootstrap++
-				op.InvalidDNSSEC++
-			case r.Signal.Potential:
-				op.Potential++
-				if r.Signal.Correct {
-					op.Correct++
-				} else {
-					op.Incorrect++
-				}
+		if r.CDS.Delete {
+			switch r.Status {
+			case classify.StatusSecured:
+				a.CDSDeleteSecured++
+			case classify.StatusIsland:
+				a.CDSDeleteIslands++
+				op.DeleteIslands++
+			}
+		}
+		if r.Status == classify.StatusIsland && !r.CDS.Delete && r.CDS.Consistent {
+			if !r.CDS.MatchesDNSKEY {
+				a.CDSOrphan++
+			} else if !r.CDS.SigValid {
+				a.CDSBadSig++
 			}
 		}
 	}
-	return a
+
+	if r.Signal.HasSignal {
+		op.WithSignal++
+		switch {
+		case r.Signal.AlreadySecured:
+			op.AlreadySecured++
+		case r.Signal.DeletionRequest:
+			op.CannotBootstrap++
+			op.DeletionRequest++
+		case r.Signal.InvalidDNSSEC:
+			op.CannotBootstrap++
+			op.InvalidDNSSEC++
+		case r.Signal.Potential:
+			op.Potential++
+			if r.Signal.Correct {
+				op.Correct++
+			} else {
+				op.Incorrect++
+			}
+		}
+	}
 }
 
 func (a *Aggregate) op(name string) *OperatorStats {

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"dnssecboot/internal/classify"
+)
+
+// populatedAggregate fills every field the checkpoint wire form must
+// carry, with distinct values so a dropped or swapped field shows up.
+func populatedAggregate() *Aggregate {
+	a := NewAggregate()
+	a.Total = 100
+	a.Unresolved = 7
+	a.ByStatus[classify.StatusUnsigned] = 60
+	a.ByStatus[classify.StatusSecured] = 20
+	a.ByStatus[classify.StatusInvalid] = 5
+	a.ByStatus[classify.StatusIsland] = 8
+	a.ByBucket[classify.PotentialAlreadySecured] = 20
+	a.ByBucket[classify.PotentialIslandDelete] = 3
+	a.Operators["cloudflare"] = &OperatorStats{
+		Name: "cloudflare", Domains: 40, Unsigned: 10, Secured: 20,
+		Invalid: 2, Islands: 8, CDS: 25, DeleteIslands: 6,
+		WithSignal: 12, AlreadySecured: 5, CannotBootstrap: 1,
+		DeletionRequest: 2, InvalidDNSSEC: 1, Potential: 3,
+		Incorrect: 1, Correct: 2,
+	}
+	a.CDSPresent = 30
+	a.CDSQueryFailed = 4
+	a.CDSInconsistent = 3
+	a.CDSInconsistentMO = 2
+	a.CDSInUnsigned = 9
+	a.CDSDeleteUnsigned = 1
+	a.CDSDeleteSecured = 2
+	a.CDSDeleteIslands = 6
+	a.CDSOrphan = 5
+	a.CDSBadSig = 4
+	a.Queries = 12345
+	a.Retries = 67
+	a.GaveUp = 8
+	a.CacheHits = 900
+	a.CacheMisses = 450
+	a.Coalesced = 33
+	return a
+}
+
+func TestAggregateStateRoundTrip(t *testing.T) {
+	a := populatedAggregate()
+	data, err := a.MarshalState()
+	if err != nil {
+		t.Fatalf("MarshalState: %v", err)
+	}
+	got, err := UnmarshalState(data)
+	if err != nil {
+		t.Fatalf("UnmarshalState: %v", err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Errorf("round trip changed the aggregate:\n got %+v\nwant %+v", got, a)
+	}
+	// The rendered artefacts must agree too — they are what a resumed
+	// run ultimately prints.
+	for name, render := range map[string]func(*Aggregate) string{
+		"headline": (*Aggregate).Headline,
+		"table3":   (*Aggregate).Table3,
+		"cds":      (*Aggregate).CDSFindings,
+	} {
+		if g, w := render(got), render(a); g != w {
+			t.Errorf("%s differs after round trip:\n got: %s\nwant: %s", name, g, w)
+		}
+	}
+}
+
+func TestAggregateStateEmptyRoundTrip(t *testing.T) {
+	data, err := NewAggregate().MarshalState()
+	if err != nil {
+		t.Fatalf("MarshalState: %v", err)
+	}
+	got, err := UnmarshalState(data)
+	if err != nil {
+		t.Fatalf("UnmarshalState: %v", err)
+	}
+	if !reflect.DeepEqual(got, NewAggregate()) {
+		t.Errorf("empty aggregate changed: %+v", got)
+	}
+}
+
+func TestAggregateStateUsesStableEnumNames(t *testing.T) {
+	data, err := populatedAggregate().MarshalState()
+	if err != nil {
+		t.Fatalf("MarshalState: %v", err)
+	}
+	var wire struct {
+		ByStatus map[string]int `json:"by_status"`
+		ByBucket map[string]int `json:"by_bucket"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatalf("parsing wire form: %v", err)
+	}
+	if _, ok := wire.ByStatus["secured"]; !ok {
+		t.Errorf("by_status keys are not status names: %v", wire.ByStatus)
+	}
+	if len(wire.ByBucket) != 2 {
+		t.Errorf("by_bucket = %v, want 2 entries", wire.ByBucket)
+	}
+}
+
+func TestUnmarshalStateRefusesUnknownNames(t *testing.T) {
+	for _, bad := range []string{
+		`{"by_status":{"quantum":1}}`,
+		`{"by_bucket":{"quantum":1}}`,
+	} {
+		if _, err := UnmarshalState([]byte(bad)); err == nil {
+			t.Errorf("UnmarshalState(%s) accepted an unknown enum name", bad)
+		}
+	}
+	if _, err := UnmarshalState([]byte(`{not json`)); err == nil {
+		t.Error("UnmarshalState accepted malformed JSON")
+	}
+}

@@ -53,6 +53,15 @@ type Resolver struct {
 	// coalesce onto one upstream query stream. Nil keeps the historical
 	// per-map caching behaviour.
 	Cache *Cache
+	// Stateless disables the legacy per-resolver memo maps (zone
+	// servers, host addresses) and the process-global inflight guard,
+	// so every resolution chain re-walks from the roots and shares
+	// nothing with its neighbours. Query counts then depend only on
+	// (name, world) — independent of scan history and concurrency —
+	// which is what makes a streamed JSONL export byte-reproducible
+	// across runs and across checkpoint resumes. Ignored when Cache is
+	// installed (a shared cache is deliberate cross-chain state).
+	Stateless bool
 	// Obs, when non-nil, is the resolver's instrument set (usually
 	// NewMetrics over a shared obs.Registry). Nil lazily builds one on
 	// a private registry so the counter accessors keep working.
@@ -447,6 +456,9 @@ func (r *Resolver) cacheZone(zoneName string, servers []netip.AddrPort) {
 		r.Cache.posStore(zoneName, posEntry{servers: servers, apex: zoneName})
 		return
 	}
+	if r.Stateless {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.zoneCache == nil {
@@ -462,6 +474,9 @@ func (r *Resolver) cachedZone(zoneName string) ([]netip.AddrPort, string, bool) 
 	if r.Cache != nil {
 		e, ok := r.Cache.posLookup(zoneName)
 		return e.servers, e.apex, ok
+	}
+	if r.Stateless {
+		return nil, zoneName, false
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -572,6 +587,17 @@ func (r *Resolver) AddrsOf(ctx context.Context, host string) ([]netip.Addr, erro
 	host = dnswire.CanonicalName(host)
 	if r.Cache != nil {
 		return r.addrsOfCached(ctx, host)
+	}
+	if r.Stateless {
+		// Per-chain cycle guard only: the global inflight map would make
+		// two chains resolving the same host concurrently fail each
+		// other, reintroducing scheduling-dependent results.
+		ctx, visited := withVisited(ctx)
+		if visited[host] {
+			return nil, fmt.Errorf("%w: resolution cycle on %s", ErrLoop, host)
+		}
+		visited[host] = true
+		return r.resolveAddrs(ctx, host)
 	}
 	r.mu.RLock()
 	cached, ok := r.addrCache[host]

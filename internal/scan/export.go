@@ -132,32 +132,88 @@ func (z *ZoneObservation) ToJSON() ObservationJSON {
 	return out
 }
 
-// WriteJSONL streams observations to w, one JSON object per line.
-// Writes are flushed at record boundaries only, so a failing writer
-// never leaves a partial trailing line in the output, and every error
-// carries the zone name and record index of the record it interrupted.
-func WriteJSONL(w io.Writer, observations []*ZoneObservation) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	for i, obs := range observations {
-		line, err := json.Marshal(obs.ToJSON())
-		if err != nil {
-			return fmt.Errorf("scan: encoding record %d (zone %s): %w", i, obs.Zone, err)
-		}
-		line = append(line, '\n')
-		// Make room for the whole line before buffering any of it: a
-		// mid-line flush that fails would otherwise have emitted a
-		// fragment of this record.
-		if bw.Buffered() > 0 && bw.Available() < len(line) {
-			if err := bw.Flush(); err != nil {
-				return fmt.Errorf("scan: writing record %d (zone %s): %w", i, obs.Zone, err)
-			}
-		}
-		if _, err := bw.Write(line); err != nil {
-			return fmt.Errorf("scan: writing record %d (zone %s): %w", i, obs.Zone, err)
+// JSONLWriter incrementally exports observations as JSONL, one record
+// per Write call — the streaming sink behind `dnssec-scan -dump`.
+// Writes reach the underlying writer at record boundaries only, so a
+// failing writer never leaves a partial trailing line in the output,
+// and every error carries the zone name and record index of the record
+// it interrupted. Byte accounting (Bytes) lets a checkpoint record the
+// exact durable offset of the last flushed record.
+type JSONLWriter struct {
+	bw    *bufio.Writer
+	count int
+	bytes int64
+}
+
+// NewJSONLWriter wraps w for incremental JSONL export.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{bw: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// Write appends one observation as a JSON line.
+func (jw *JSONLWriter) Write(obs *ZoneObservation) error {
+	line, err := json.Marshal(obs.ToJSON())
+	if err != nil {
+		return fmt.Errorf("scan: encoding record %d (zone %s): %w", jw.count, obs.Zone, err)
+	}
+	line = append(line, '\n')
+	// Make room for the whole line before buffering any of it: a
+	// mid-line flush that fails would otherwise have emitted a
+	// fragment of this record.
+	if jw.bw.Buffered() > 0 && jw.bw.Available() < len(line) {
+		if err := jw.bw.Flush(); err != nil {
+			return fmt.Errorf("scan: writing record %d (zone %s): %w", jw.count, obs.Zone, err)
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("scan: flushing %d records: %w", len(observations), err)
+	if _, err := jw.bw.Write(line); err != nil {
+		return fmt.Errorf("scan: writing record %d (zone %s): %w", jw.count, obs.Zone, err)
+	}
+	jw.count++
+	jw.bytes += int64(len(line))
+	return nil
+}
+
+// Flush forces every buffered record to the underlying writer.
+func (jw *JSONLWriter) Flush() error {
+	if err := jw.bw.Flush(); err != nil {
+		return fmt.Errorf("scan: flushing %d records: %w", jw.count, err)
+	}
+	return nil
+}
+
+// Count returns how many records have been written.
+func (jw *JSONLWriter) Count() int { return jw.count }
+
+// Bytes returns the total encoded size of the records written so far
+// (only durable in the underlying writer after a successful Flush).
+func (jw *JSONLWriter) Bytes() int64 { return jw.bytes }
+
+// WriteJSONL streams a batch of observations to w, one JSON object per
+// line, through a JSONLWriter (same flushing and error guarantees).
+func WriteJSONL(w io.Writer, observations []*ZoneObservation) error {
+	jw := NewJSONLWriter(w)
+	for _, obs := range observations {
+		if err := jw.Write(obs); err != nil {
+			return err
+		}
+	}
+	return jw.Flush()
+}
+
+// DecodeJSONL streams a JSONL export through fn, one record at a time,
+// without materialising the whole dump — the memory-bounded read side
+// of the pipeline (reanalyze at full scale). A decode error or a fn
+// error stops the scan and is returned.
+func DecodeJSONL(r io.Reader, fn func(ObservationJSON) error) error {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	for dec.More() {
+		var o ObservationJSON
+		if err := dec.Decode(&o); err != nil {
+			return err
+		}
+		if err := fn(o); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -166,13 +222,12 @@ func WriteJSONL(w io.Writer, observations []*ZoneObservation) error {
 // offline analysis tooling and tests).
 func ReadJSONL(r io.Reader) ([]ObservationJSON, error) {
 	var out []ObservationJSON
-	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
-	for dec.More() {
-		var o ObservationJSON
-		if err := dec.Decode(&o); err != nil {
-			return nil, err
-		}
+	err := DecodeJSONL(r, func(o ObservationJSON) error {
 		out = append(out, o)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -7,7 +7,6 @@ import (
 	"hash/fnv"
 	"io"
 	"net/netip"
-	"sync"
 	"time"
 
 	"dnssecboot/internal/dnssec"
@@ -45,6 +44,13 @@ type Config struct {
 	TrustAnchor []dnswire.RR
 	// Seed makes sampling decisions deterministic.
 	Seed int64
+	// Stateless scopes the chain-validation memo to a single zone scan
+	// instead of the whole Scanner (pair it with a Stateless Resolver).
+	// Each zone's observation — query counts included — then depends
+	// only on (zone, world, Seed), never on which zones were scanned
+	// before it or concurrently, making a streamed export byte-stable
+	// across runs and checkpoint resumes.
+	Stateless bool
 	// Retry, when non-nil, is installed on the Resolver so every scan
 	// query retries transient failures (timeouts, SERVFAIL) — the
 	// resilience a lossy network demands. Nil leaves the Resolver's own
@@ -86,47 +92,47 @@ func New(cfg Config) *Scanner {
 // Validator exposes the scanner's chain validator (shared cache).
 func (s *Scanner) Validator() *Validator { return s.val }
 
+// zoneValidatorKey carries the per-zone validator installed by ScanZone
+// in stateless mode.
+type zoneValidatorKey struct{}
+
+// validator returns the chain validator for this resolution chain: the
+// per-zone one in stateless mode, the Scanner-wide one otherwise.
+func (s *Scanner) validator(ctx context.Context) *Validator {
+	if v, ok := ctx.Value(zoneValidatorKey{}).(*Validator); ok {
+		return v
+	}
+	return s.val
+}
+
 // ScanAll scans every zone with bounded concurrency, preserving input
-// order in the result. When ctx is cancelled no further zones are
-// launched; the unscanned tail is filled with observations carrying
-// the cancellation as their resolve error.
+// order in the result. It is the buffering convenience wrapper around
+// ScanStream: observations stream into the result slice as they are
+// emitted. When ctx is cancelled no further zones are launched; the
+// unscanned tail is filled with observations carrying the cancellation
+// as their resolve error.
 func (s *Scanner) ScanAll(ctx context.Context, zones []string) []*ZoneObservation {
 	out := make([]*ZoneObservation, len(zones))
-	var progress *obs.Progress
-	if s.cfg.ProgressWriter != nil {
-		progress = obs.NewProgress(s.cfg.ProgressWriter, len(zones), s.cfg.ProgressInterval)
-	}
-	defer progress.Stop()
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.cfg.Concurrency)
-	for i, z := range zones {
-		// Explicit pre-check: when ctx is already done, a select with a
-		// free semaphore slot would still launch scans at random.
-		if ctx.Err() == nil {
-			select {
-			case <-ctx.Done():
-			case sem <- struct{}{}:
-			}
-		}
+	res, _ := s.ScanStream(ctx, zones, StreamOptions{
+		Sink: func(i int, zo *ZoneObservation) error {
+			out[i] = zo
+			return nil
+		},
+	})
+	if res.Next < len(zones) {
+		// The sink above never fails and ScanAll passes no drain signal,
+		// so an early stop always means the context died.
+		msg := "scan aborted"
 		if err := ctx.Err(); err != nil {
-			for j := i; j < len(zones); j++ {
-				out[j] = &ZoneObservation{
-					Zone:       dnswire.CanonicalName(zones[j]),
-					ResolveErr: err.Error(),
-				}
-			}
-			wg.Wait()
-			return out
+			msg = err.Error()
 		}
-		wg.Add(1)
-		go func(i int, z string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = s.ScanZone(ctx, z)
-			progress.Done(out[i].ResolveErr != "")
-		}(i, z)
+		for j := res.Next; j < len(zones); j++ {
+			out[j] = &ZoneObservation{
+				Zone:       dnswire.CanonicalName(zones[j]),
+				ResolveErr: msg,
+			}
+		}
 	}
-	wg.Wait()
 	return out
 }
 
@@ -137,6 +143,13 @@ func (s *Scanner) ScanZone(ctx context.Context, zoneName string) *ZoneObservatio
 	sp := s.cfg.Tracer.StartSpan(zoneName)
 	ctx = obs.WithSpan(ctx, sp)
 	ctx, stats := resolver.WithQueryStats(ctx)
+	if s.cfg.Stateless {
+		// A fresh memo per zone keeps within-zone validations cheap
+		// while sharing nothing across zones (see Config.Stateless).
+		ctx = context.WithValue(ctx, zoneValidatorKey{}, &Validator{
+			R: s.cfg.Resolver, Now: s.cfg.Now, TrustAnchor: s.cfg.TrustAnchor,
+		})
+	}
 	defer func() {
 		zo.Queries = stats.Queries.Load()
 		zo.Retries = stats.Retries.Load()
@@ -503,7 +516,7 @@ func (s *Scanner) probeSignal(ctx context.Context, child, nsHost string) SignalO
 				sigs = append(sigs, sig)
 			}
 		}
-		if err := s.val.ValidateRRset(ctx, set, sigs); err != nil {
+		if err := s.validator(ctx).ValidateRRset(ctx, set, sigs); err != nil {
 			secure = false
 			so.ValidationErr = err.Error()
 			break
