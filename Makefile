@@ -6,7 +6,7 @@ GO ?= go
 # wholesale untested subsystem does.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all test race cover fuzz-smoke bench-smoke obs-smoke build ci
+.PHONY: all test race cover lint fuzz-smoke bench-smoke obs-smoke build ci
 
 all: test
 
@@ -18,6 +18,12 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# The in-repo static-analysis suite (determinism, enum exhaustiveness,
+# concurrency hygiene, error discipline — see docs/LINTS.md). Any
+# finding is a nonzero exit.
+lint:
+	$(GO) run ./cmd/dnssec-lint ./...
 
 # The chaos and concurrency paths under the race detector.
 race:
@@ -55,11 +61,13 @@ obs-smoke:
 	$(GO) run ./cmd/dnssec-scan -scale 500000 -trace-out artifacts/trace.jsonl -out headline
 	$(GO) run ./cmd/reanalyze -trace artifacts/trace.jsonl
 
-# The full local CI gate: vet, build, the race-enabled test suite
-# (includes the chaos, cache-invariance and observability-neutrality
-# regressions), the fuzz smoke and the trace round-trip.
+# The full local CI gate: vet, the lint suite, build, the race-enabled
+# test suite (includes the chaos, cache-invariance and
+# observability-neutrality regressions), the fuzz smoke and the trace
+# round-trip.
 ci:
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) cover

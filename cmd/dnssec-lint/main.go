@@ -1,0 +1,73 @@
+// Command dnssec-lint runs the repo's static-analysis suite (see
+// internal/lint and docs/LINTS.md) over the module. Findings print as
+// "file:line: [check] message" and any finding exits nonzero, so the
+// command gates CI:
+//
+//	go run ./cmd/dnssec-lint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dnssecboot/internal/lint"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the ok summary line")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dnssec-lint [-q] [packages]\n\npackages default to ./... relative to the module root\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	// The source importer resolves module-internal imports through the
+	// go tool, which needs a working directory inside the module.
+	if err := os.Chdir(root); err != nil {
+		fatal(err)
+	}
+	res, err := lint.Analyze(root, flag.Args(), nil)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range res.Findings {
+		fmt.Println(f)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dnssec-lint: %d finding(s) in %d package(s)\n", len(res.Findings), res.Packages)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("dnssec-lint: ok (%d packages, 0 findings)\n", res.Packages)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("dnssec-lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

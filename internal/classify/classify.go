@@ -20,6 +20,8 @@ import (
 )
 
 // Status is a zone's DNSSEC deployment status (§4.1).
+//
+// lint:exhaustive — switches over Status must cover every constant.
 type Status int
 
 // Statuses.
@@ -97,6 +99,8 @@ type CDSInfo struct {
 }
 
 // Potential is the Figure-1 bootstrapping-possibility bucket.
+//
+// lint:exhaustive — switches over Potential must cover every constant.
 type Potential int
 
 // Figure-1 buckets.
@@ -386,6 +390,11 @@ func bucketOf(st Status, cds CDSInfo) Potential {
 		return PotentialAlreadySecured
 	case StatusInvalid:
 		return PotentialInvalidDNSSEC
+	case StatusUnresolved:
+		// Unreachable: Classify returns before bucketing when the zone
+		// failed to resolve. Kept so the Status switch stays exhaustive.
+		return PotentialNone
+	case StatusIsland:
 	}
 	// Islands.
 	switch {

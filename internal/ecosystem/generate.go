@@ -678,6 +678,10 @@ func (e *Ecosystem) publishSignals(op *opInfra, z *zone.Zone, spec ZoneSpec, chi
 			op.badSigOwners = append(op.badSigOwners, recs[0].Name)
 		case SigExpiredSig:
 			op.expiredOwners = append(op.expiredOwners, recs[0].Name)
+		default:
+			// SigOK and the structural anomalies (zone cut, NS subset,
+			// unsigned zone) are applied when the signal zone itself is
+			// built, not per signalled owner.
 		}
 	}
 	return nil

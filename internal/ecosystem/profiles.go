@@ -378,6 +378,9 @@ func otherProfile(ps []Profile) Profile {
 		total += p.Total
 		for _, s := range p.Segments {
 			switch s.Spec.State {
+			case StateUnsigned:
+				// Unsigned segments contribute to the total only; the
+				// residual picks them up as total minus the categories.
 			case StateSecured:
 				secured += s.N
 			case StateInvalid:

@@ -15,6 +15,8 @@
 package ecosystem
 
 // State is a zone's ground-truth DNSSEC status.
+//
+// lint:exhaustive — switches over State must cover every constant.
 type State int
 
 // Zone states, matching the paper's §4.1 classification.
@@ -46,6 +48,8 @@ func (s State) String() string {
 }
 
 // CDSMode is the ground-truth CDS/CDNSKEY publication of a zone.
+//
+// lint:exhaustive — switches over CDSMode must cover every constant.
 type CDSMode int
 
 // CDS modes.
@@ -82,6 +86,8 @@ func (m CDSMode) String() string {
 }
 
 // SignalAnomaly marks an injected RFC 9615 signal-zone defect.
+//
+// lint:exhaustive — switches over SignalAnomaly must cover every constant.
 type SignalAnomaly int
 
 // Signal anomalies from §4.4.

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The error-discipline analyzer.
+//
+// errcompare: a sentinel error (a package-level `var ErrFoo =
+// errors.New(...)`) compared with == or != matches only the naked
+// value; the first caller who wraps it with fmt.Errorf("%w", ...) slips
+// straight past the comparison (exactly how wrapped transport timeouts
+// dodged isTimeout). errors.Is is the contract.
+//
+// errwrap: fmt.Errorf formatting an error argument with %v or %s while
+// the format wraps nothing (%w absent) severs the chain — errors.Is and
+// errors.As stop working for every sentinel below. Formats that carry
+// at least one %w keep a chain, so mixing %w with a demoted %v is
+// allowed (that is the idiom for deliberately hiding an inner cause).
+
+// analyzeErrDiscipline runs both checks over one package.
+func analyzeErrDiscipline(fset *token.FileSet, pkg *Package) []Finding {
+	var findings []Finding
+	inspectFiles(pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if f := checkSentinelCompare(fset, pkg, n); f != nil {
+				findings = append(findings, *f)
+			}
+		case *ast.CallExpr:
+			if f := checkErrorfWrap(fset, pkg, n); f != nil {
+				findings = append(findings, *f)
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// checkSentinelCompare flags ==/!= against a sentinel error variable.
+func checkSentinelCompare(fset *token.FileSet, pkg *Package, be *ast.BinaryExpr) *Finding {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return nil
+	}
+	name := sentinelName(pkg, be.X)
+	other := be.Y
+	if name == "" {
+		name = sentinelName(pkg, be.Y)
+		other = be.X
+	}
+	if name == "" {
+		return nil
+	}
+	// Nil checks are the one comparison sentinels support directly.
+	if tv, ok := pkg.Info.Types[other]; ok && tv.IsNil() {
+		return nil
+	}
+	op := "=="
+	if be.Op == token.NEQ {
+		op = "!="
+	}
+	return &Finding{Pos: fset.Position(be.Pos()), Check: CheckErrCompare,
+		Msg: fmt.Sprintf("sentinel error %s compared with %s; a wrapped error slips past — use errors.Is", name, op)}
+}
+
+// sentinelName reports the name of a package-level error variable
+// (ErrFoo / errFoo), or "".
+func sentinelName(pkg *Package, e ast.Expr) string {
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[e.Sel]
+	default:
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return ""
+	}
+	if !strings.HasPrefix(v.Name(), "Err") && !strings.HasPrefix(v.Name(), "err") {
+		return ""
+	}
+	named, ok := v.Type().(*types.Named)
+	if !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return ""
+	}
+	// Package-level only: locals named err are ordinary flow control.
+	if v.Pkg() != nil && v.Parent() != nil && v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	return v.Name()
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// with %v or %s in a format string containing no %w.
+func checkErrorfWrap(fset *token.FileSet, pkg *Package, call *ast.CallExpr) *Finding {
+	if path, name, ok := packageFunc(pkg, call); !ok || path != "fmt" || name != "Errorf" {
+		return nil
+	}
+	if len(call.Args) < 2 {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok || len(verbs) != len(call.Args)-1 {
+		return nil // indexed or malformed format: stay conservative
+	}
+	for _, v := range verbs {
+		if v == 'w' {
+			return nil
+		}
+	}
+	for i, v := range verbs {
+		if v != 'v' && v != 's' {
+			continue
+		}
+		argType := pkg.Info.TypeOf(call.Args[i+1])
+		if argType == nil || !implementsError(argType) {
+			continue
+		}
+		return &Finding{Pos: fset.Position(call.Pos()), Check: CheckErrWrap,
+			Msg: fmt.Sprintf("fmt.Errorf formats an error with %%%c and wraps nothing; use %%w to keep the chain", v)}
+	}
+	return nil
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errType)
+}
+
+// formatVerbs extracts the argument-consuming verbs of a Printf format
+// in order, with '*' width/precision slots included as pseudo-verbs.
+// ok is false for indexed arguments (%[1]v), which the caller skips.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags, width, precision; '*' consumes an argument of its own.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0.", rune(c)) || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		verbs = append(verbs, rune(format[i]))
+		i++
+	}
+	return verbs, true
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The exhaustive analyzer. Enum types opt in with a "lint:exhaustive"
+// marker in their doc comment; every switch anywhere in the loaded
+// packages whose tag has that type must then either list every declared
+// constant or carry an explicit default clause. This is the
+// machine-checked version of the invariant the outcome-misclassification
+// PR restored by hand: adding a new outcome constant fails lint until
+// every aggregation site has decided what to do with it.
+
+// enumMarker opts a type declaration in to exhaustiveness checking.
+const enumMarker = "lint:exhaustive"
+
+// enumInfo is one registered enum: its declared constant values and a
+// display name per value.
+type enumInfo struct {
+	display string            // e.g. "classify.Status"
+	values  map[string]string // constant.Value.ExactString() -> first constant name
+}
+
+// enumKey identifies a named type across independently type-checked
+// packages, where object identity does not hold.
+func enumKey(obj *types.TypeName) string {
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// collectEnums registers every marked enum type and its constants.
+func collectEnums(pkgs []*Package) map[string]*enumInfo {
+	enums := make(map[string]*enumInfo)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !marked(gd.Doc, ts.Doc, ts.Comment) {
+						continue
+					}
+					obj, ok := pkg.Pkg.Scope().Lookup(ts.Name.Name).(*types.TypeName)
+					if !ok {
+						continue
+					}
+					enums[enumKey(obj)] = &enumInfo{
+						display: pkg.Pkg.Name() + "." + obj.Name(),
+						values:  enumConstants(pkg.Pkg, obj.Type()),
+					}
+				}
+			}
+		}
+	}
+	return enums
+}
+
+// marked reports whether any of the doc comments carries the enum
+// marker.
+func marked(groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if strings.Contains(c.Text, enumMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enumConstants collects the package-level constants of type t.
+func enumConstants(pkg *types.Package, t types.Type) map[string]string {
+	values := make(map[string]string)
+	scope := pkg.Scope()
+	names := scope.Names() // sorted, so "first name" per value is stable
+	for _, name := range names {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if _, seen := values[key]; !seen {
+			values[key] = c.Name()
+		}
+	}
+	return values
+}
+
+// analyzeExhaustive checks every expression switch in pkg against the
+// enum registry.
+func analyzeExhaustive(fset *token.FileSet, pkg *Package, enums map[string]*enumInfo) []Finding {
+	if len(enums) == 0 {
+		return nil
+	}
+	var findings []Finding
+	inspectFiles(pkg, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tagType := pkg.Info.TypeOf(sw.Tag)
+		named, ok := tagType.(*types.Named)
+		if !ok {
+			return true
+		}
+		enum, registered := enums[enumKey(named.Obj())]
+		if !registered {
+			return true
+		}
+		covered := make(map[string]bool)
+		hasDefault := false
+		for _, stmt := range sw.Body.List {
+			clause, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if clause.List == nil {
+				hasDefault = true
+				continue
+			}
+			for _, expr := range clause.List {
+				if tv, ok := pkg.Info.Types[expr]; ok && tv.Value != nil {
+					covered[tv.Value.ExactString()] = true
+				}
+			}
+		}
+		if hasDefault {
+			return true
+		}
+		var missing []string
+		for val, name := range enum.values {
+			if !covered[val] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			findings = append(findings, Finding{
+				Pos:   fset.Position(sw.Pos()),
+				Check: CheckExhaustive,
+				Msg: fmt.Sprintf("switch over %s misses %s; add the missing cases or an explicit default",
+					enum.display, strings.Join(missing, ", ")),
+			})
+		}
+		return true
+	})
+	return findings
+}

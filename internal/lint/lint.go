@@ -1,0 +1,253 @@
+// Package lint is the repo's in-tree static-analysis suite. The
+// paper's pipeline (§3) is only credible because every run over the
+// synthetic Internet is reproducible and every nameserver response
+// lands in exactly one outcome bucket; past PRs each shipped a bug that
+// violated one of those invariants (map-order nondeterminism in
+// ecosystem generation, outcome-switch misclassification in
+// classify/report, phantom retry counters). The analyzers here turn
+// those one-off fixes into machine-checked invariants that gate every
+// future change:
+//
+//   - nondeterminism: no wall-clock or process-global randomness, and
+//     no order-sensitive map iteration, in the packages whose output
+//     must be byte-identical across runs.
+//   - exhaustive: every switch over a marked outcome/verdict enum
+//     covers all declared constants or carries an explicit default, so
+//     adding a constant fails lint until every aggregation site is
+//     updated.
+//   - concurrency: sync/atomic fields are accessed atomically
+//     everywhere, ctx parameters are threaded (never replaced with
+//     context.Background) on the resolver/scan hot paths, and
+//     goroutine closures do not capture loop variables implicitly.
+//   - errcompare / errwrap: sentinel errors go through errors.Is, and
+//     fmt.Errorf keeps error chains intact with %w.
+//
+// Findings print as "file:line: [check] message". A site can opt out
+// with a trailing or preceding pragma comment:
+//
+//	//lint:allow <check> <reason>
+//
+// The reason is mandatory; a reasonless pragma is itself a finding and
+// suppresses nothing. Enum types opt in to exhaustiveness checking with
+// a "lint:exhaustive" marker in their doc comment.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Check identifiers, used in findings and in allow pragmas.
+const (
+	CheckNondeterminism = "nondeterminism"
+	CheckExhaustive     = "exhaustive"
+	CheckConcurrency    = "concurrency"
+	CheckErrCompare     = "errcompare"
+	CheckErrWrap        = "errwrap"
+	CheckPragma         = "pragma"
+)
+
+// Finding is one diagnostic.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+// String renders the canonical "file:line: [check] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// Config scopes the analyzers to the module's layout.
+type Config struct {
+	// Deterministic maps import paths to the file basenames covered by
+	// the nondeterminism analyzer. A nil slice covers the whole package.
+	Deterministic map[string][]string
+	// HotPath lists the import paths whose ctx-threading and
+	// loop-capture rules are enforced (the resolver/scan hot paths).
+	HotPath map[string]bool
+}
+
+// DefaultConfig returns the repo's scoping: the packages whose output
+// feeds the paper's deterministic artefacts, and the concurrent hot
+// paths. module is the module path from go.mod.
+func DefaultConfig(module string) Config {
+	p := func(s string) string { return module + "/" + s }
+	return Config{
+		Deterministic: map[string][]string{
+			p("internal/ecosystem"): nil,
+			p("internal/classify"):  nil,
+			p("internal/report"):    nil,
+			p("internal/dnssec"):    nil,
+			p("internal/zone"):      nil,
+			// scan's export paths must serialise identically across
+			// runs; the scanner itself is allowed wall-clock state.
+			p("internal/scan"): {"export.go", "observation.go", "checkpoint.go"},
+		},
+		HotPath: map[string]bool{
+			p("internal/resolver"): true,
+			p("internal/scan"):     true,
+		},
+	}
+}
+
+// Result is one analysis run over a set of packages.
+type Result struct {
+	Findings []Finding
+	Packages int
+}
+
+// Analyze loads patterns under the module root and runs every
+// analyzer, returning the surviving findings sorted by position. A nil
+// cfg uses DefaultConfig for the module named in go.mod.
+func Analyze(root string, patterns []string, cfg *Config) (*Result, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	if cfg == nil {
+		c := DefaultConfig(loader.Module())
+		cfg = &c
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return Run(loader, pkgs, *cfg), nil
+}
+
+// Run executes every analyzer over the loaded packages and applies
+// pragma suppression.
+func Run(loader *Loader, pkgs []*Package, cfg Config) *Result {
+	fset := loader.Fset
+	allows, pragmaFindings := collectPragmas(fset, pkgs)
+	enums := collectEnums(pkgs)
+
+	var raw []Finding
+	for _, pkg := range pkgs {
+		raw = append(raw, analyzeDeterminism(fset, pkg, cfg)...)
+		raw = append(raw, analyzeExhaustive(fset, pkg, enums)...)
+		raw = append(raw, analyzeConcurrency(fset, pkg, cfg)...)
+		raw = append(raw, analyzeErrDiscipline(fset, pkg)...)
+	}
+
+	var kept []Finding
+	seen := make(map[Finding]bool)
+	for _, f := range raw {
+		if allows.suppresses(f) || seen[f] {
+			continue
+		}
+		seen[f] = true
+		kept = append(kept, f)
+	}
+	kept = append(kept, pragmaFindings...)
+	for i := range kept {
+		kept[i].Pos.Filename = relativeTo(loader.Root(), kept[i].Pos.Filename)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return &Result{Findings: kept, Packages: len(pkgs)}
+}
+
+// relativeTo shortens name to a root-relative path when possible.
+func relativeTo(root, name string) string {
+	rel, err := filepath.Rel(root, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return name
+	}
+	return rel
+}
+
+// allowSet records every well-formed allow pragma: file -> line -> set
+// of allowed check names. A pragma suppresses findings of its check on
+// its own line (trailing comment) and on the line directly below it
+// (standalone comment above the site).
+type allowSet map[string]map[int]map[string]bool
+
+func (a allowSet) add(file string, line int, check string) {
+	byLine, ok := a[file]
+	if !ok {
+		byLine = make(map[int]map[string]bool)
+		a[file] = byLine
+	}
+	checks, ok := byLine[line]
+	if !ok {
+		checks = make(map[string]bool)
+		byLine[line] = checks
+	}
+	checks[check] = true
+}
+
+func (a allowSet) suppresses(f Finding) bool {
+	byLine := a[f.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		if byLine[line][f.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+// pragmaPrefix introduces an allow pragma inside a comment.
+const pragmaPrefix = "lint:allow"
+
+// collectPragmas scans every comment for allow pragmas. Malformed
+// pragmas (no check name, or no reason) are reported and ignored: an
+// unexplained suppression is exactly the kind of silent exception this
+// suite exists to prevent.
+func collectPragmas(fset *token.FileSet, pkgs []*Package) (allowSet, []Finding) {
+	allows := make(allowSet)
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+					rest, ok := strings.CutPrefix(text, pragmaPrefix)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						findings = append(findings, Finding{Pos: pos, Check: CheckPragma,
+							Msg: "allow pragma names no check: want //lint:allow <check> <reason>"})
+						continue
+					}
+					if len(fields) < 2 {
+						findings = append(findings, Finding{Pos: pos, Check: CheckPragma,
+							Msg: fmt.Sprintf("allow pragma for %q has no reason; the reason is mandatory and the pragma is ignored", fields[0])})
+						continue
+					}
+					allows.add(pos.Filename, pos.Line, fields[0])
+				}
+			}
+		}
+	}
+	return allows, findings
+}
+
+// inspectFiles walks every file of pkg.
+func inspectFiles(pkg *Package, fn func(ast.Node) bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

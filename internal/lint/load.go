@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit every analyzer
+// operates on.
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Files are the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Pkg and Info are the go/types views of the package.
+	Pkg  *types.Package
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages of one module. All packages
+// share a single FileSet and a single source importer, so dependency
+// packages (including the standard library) are type-checked once per
+// Loader no matter how many module packages import them.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+	root string
+	mod  string
+}
+
+// NewLoader prepares a loader for the module rooted at root (the
+// directory containing go.mod). The importer resolves dependencies from
+// source; cgo is disabled so packages like net type-check via their
+// pure-Go fallbacks in every environment.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+		root: abs,
+		mod:  mod,
+	}, nil
+}
+
+// Root returns the absolute module root.
+func (l *Loader) Root() string { return l.root }
+
+// Module returns the module path from go.mod.
+func (l *Loader) Module() string { return l.mod }
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load expands patterns ("./..." or package directories relative to the
+// module root) and returns the parsed, type-checked packages sorted by
+// import path. Test files and testdata trees are excluded: the lints
+// gate production code, and fixture packages under testdata must not
+// lint the repo dirty.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// expand resolves patterns to package directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := l.walkAll(l.root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(l.root, strings.TrimSuffix(pat, "/..."))
+			walked, err := l.walkAll(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		default:
+			d := pat
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(l.root, pat)
+			}
+			if !hasGoFiles(d) {
+				return nil, fmt.Errorf("lint: no Go files in %s", pat)
+			}
+			add(d)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// walkAll collects every directory under base holding non-test Go
+// files, skipping hidden directories and testdata trees.
+func (l *Loader) walkAll(base string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// hasGoFiles reports whether dir directly contains non-test Go files.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if lintableFile(e.Name()) && !e.IsDir() {
+			return true
+		}
+	}
+	return false
+}
+
+// lintableFile reports whether name is a non-test Go source file.
+func lintableFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// loadDir parses and type-checks the package in dir. Directories whose
+// only Go files are tests yield nil.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !lintableFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	importPath := l.importPathFor(dir)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// importPathFor derives the module-relative import path of dir.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == "." {
+		return l.mod
+	}
+	return l.mod + "/" + filepath.ToSlash(rel)
+}

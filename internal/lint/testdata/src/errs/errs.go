@@ -1,0 +1,54 @@
+// Package errs exercises the error-discipline analyzer: sentinel
+// comparisons must go through errors.Is, and fmt.Errorf must keep the
+// chain with %w when it formats an error.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is the package's sentinel error.
+var ErrClosed = errors.New("errs: closed")
+
+// NakedCompare matches only the unwrapped value.
+func NakedCompare(err error) bool {
+	return err == ErrClosed // want `sentinel error ErrClosed compared with ==`
+}
+
+// NotEqual is the same defect with the operator inverted.
+func NotEqual(err error) bool {
+	return err != ErrClosed // want `sentinel error ErrClosed compared with !=`
+}
+
+// IsCompare goes through errors.Is: clean.
+func IsCompare(err error) bool {
+	return errors.Is(err, ErrClosed)
+}
+
+// NilCheck is ordinary flow control: clean.
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// Severed formats the error with %v and wraps nothing.
+func Severed(err error) error {
+	return fmt.Errorf("lookup failed: %v", err) // want `fmt\.Errorf formats an error with %v and wraps nothing`
+}
+
+// Wrapped keeps the chain: clean.
+func Wrapped(err error) error {
+	return fmt.Errorf("lookup failed: %w", err)
+}
+
+// Demoted wraps the outer error and deliberately flattens the cause;
+// formats carrying a %w are allowed to demote other errors.
+func Demoted(outer, cause error) error {
+	return fmt.Errorf("%w (cause: %v)", outer, cause)
+}
+
+// Suppressed documents a deliberate identity comparison.
+func Suppressed(err error) bool {
+	//lint:allow errcompare pointer identity is the contract here
+	return err == ErrClosed
+}

@@ -1,0 +1,76 @@
+// Package exhaust exercises the exhaustive analyzer: switches over a
+// marked enum must list every constant or carry an explicit default.
+package exhaust
+
+// Color is a marked enum; deleting any arm from the Covered switch
+// below reproduces the missing-case regression this analyzer catches.
+//
+// lint:exhaustive
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Size is unmarked: switches over it are never checked.
+type Size int
+
+const (
+	Small Size = iota
+	Large
+)
+
+// Missing drops Blue and has no default.
+func Missing(c Color) string {
+	switch c { // want `switch over exhaust\.Color misses Blue`
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return ""
+}
+
+// Covered lists every constant: clean.
+func Covered(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return ""
+}
+
+// Defaulted declares an explicit default: clean.
+func Defaulted(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+// UnmarkedSwitch ranges an unmarked enum: never checked.
+func UnmarkedSwitch(s Size) string {
+	switch s {
+	case Small:
+		return "s"
+	}
+	return ""
+}
+
+// Suppressed documents a deliberate partial switch with a pragma.
+func Suppressed(c Color) string {
+	//lint:allow exhaustive new colors intentionally fall through
+	switch c {
+	case Red:
+		return "red"
+	}
+	return ""
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"dnssecboot/internal/classify"
@@ -67,7 +68,13 @@ func (a *Aggregate) writeTable3CSV(cw *csv.Writer) error {
 		"deletion_request", "invalid_dnssec", "potential", "incorrect", "correct"}); err != nil {
 		return err
 	}
-	for name, s := range a.Operators {
+	names := make([]string, 0, len(a.Operators))
+	for name := range a.Operators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := a.Operators[name]
 		if s.WithSignal == 0 {
 			continue
 		}

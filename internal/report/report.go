@@ -119,6 +119,9 @@ func (a *Aggregate) Add(r *classify.Result) {
 		op.Invalid++
 	case classify.StatusIsland:
 		op.Islands++
+	case classify.StatusUnresolved:
+		// Unreachable: unresolved results return before the per-operator
+		// accounting above. Kept so the Status switch stays exhaustive.
 	}
 
 	if r.CDS.QueryFailed {
@@ -146,6 +149,9 @@ func (a *Aggregate) Add(r *classify.Result) {
 			case classify.StatusIsland:
 				a.CDSDeleteIslands++
 				op.DeleteIslands++
+			default:
+				// Delete records in unsigned or invalid zones are already
+				// counted by CDSDeleteUnsigned / the invalid totals.
 			}
 		}
 		if r.Status == classify.StatusIsland && !r.CDS.Delete && r.CDS.Consistent {
@@ -382,9 +388,11 @@ func (a *Aggregate) CDSFindings() string {
 	fmt.Fprintf(&b, "deletion requests in secured zones ..... %d\n", a.CDSDeleteSecured)
 	fmt.Fprintf(&b, "deletion requests in secure islands .... %d\n", a.CDSDeleteIslands)
 	if a.CDSDeleteIslands > 0 {
+		// Ties broken by name so the report is identical across runs
+		// regardless of map iteration order.
 		top, topN := "", 0
 		for name, s := range a.Operators {
-			if s.DeleteIslands > topN {
+			if s.DeleteIslands > topN || (s.DeleteIslands == topN && topN > 0 && name < top) {
 				top, topN = name, s.DeleteIslands
 			}
 		}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -139,5 +140,59 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "possible to bootstrap,1") {
 		t.Errorf("figure1 CSV:\n%s", buf.String())
+	}
+}
+
+// Table 3's CSV rows used to follow map iteration order, so two renders
+// of the same aggregate could produce differently ordered files. Rows
+// must come out sorted by operator name, identically on every render.
+func TestTable3CSVRowOrderDeterministic(t *testing.T) {
+	ops := []string{"Zeta", "GoDaddy", "Alpha", "Cloudflare", "Mid", "Beta", "Omega", "Kappa"}
+	a := &Aggregate{Operators: map[string]*OperatorStats{}}
+	for i, name := range ops {
+		a.Operators[name] = &OperatorStats{Name: name, WithSignal: i + 1}
+	}
+	sorted := append([]string(nil), ops...)
+	sort.Strings(sorted)
+
+	var first string
+	for render := 0; render < 20; render++ {
+		var buf strings.Builder
+		if err := a.WriteCSV(&buf, "table3"); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != len(ops)+1 {
+			t.Fatalf("render %d: %d lines, want %d:\n%s", render, len(lines), len(ops)+1, buf.String())
+		}
+		for i, name := range sorted {
+			if got := strings.SplitN(lines[i+1], ",", 2)[0]; got != name {
+				t.Fatalf("render %d row %d: operator %q, want %q", render, i, got, name)
+			}
+		}
+		if render == 0 {
+			first = buf.String()
+		} else if buf.String() != first {
+			t.Fatalf("render %d differs from first render", render)
+		}
+	}
+}
+
+// The largest-publisher line in CDSFindings used to break DeleteIslands
+// ties by map iteration order; ties must resolve to the smallest name.
+func TestCDSFindingsLargestPublisherTieBreak(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		a := &Aggregate{
+			CDSDeleteIslands: 6,
+			Operators: map[string]*OperatorStats{
+				"Zeta":  {Name: "Zeta", DeleteIslands: 3},
+				"Alpha": {Name: "Alpha", DeleteIslands: 3},
+				"Beta":  {Name: "Beta", DeleteIslands: 1},
+			},
+		}
+		out := a.CDSFindings()
+		if !strings.Contains(out, "largest publisher .................... Alpha (3") {
+			t.Fatalf("iteration %d: tie not broken by name:\n%s", i, out)
+		}
 	}
 }

@@ -15,6 +15,8 @@ import (
 )
 
 // Outcome describes how a single query attempt ended.
+//
+// lint:exhaustive — switches over Outcome must cover every constant.
 type Outcome int
 
 // Query outcomes.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -162,7 +163,7 @@ func ReadTCPMessage(r io.Reader) ([]byte, error) {
 }
 
 func isTimeout(err error) bool {
-	if err == ErrTimeout || os.IsTimeout(err) {
+	if errors.Is(err, ErrTimeout) || os.IsTimeout(err) {
 		return true
 	}
 	var ne net.Error

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net"
 	"net/netip"
 	"strings"
@@ -162,5 +163,21 @@ func TestClientUnreachable(t *testing.T) {
 	addr := netip.MustParseAddrPort("127.0.0.1:1")
 	if _, err := c.Exchange(context.Background(), addr, q); err == nil {
 		t.Fatal("exchange with dead port succeeded")
+	}
+}
+
+// isTimeout used to compare err == ErrTimeout, so a wrapped timeout
+// (fmt.Errorf("...: %w", ErrTimeout)) slipped past and was retried as
+// if it were a hard failure. Wrapped sentinels must be recognized.
+func TestIsTimeoutSeesWrappedSentinel(t *testing.T) {
+	wrapped := fmt.Errorf("exchange attempt 2: %w", ErrTimeout)
+	if !isTimeout(wrapped) {
+		t.Errorf("isTimeout(%v) = false, want true", wrapped)
+	}
+	if isTimeout(fmt.Errorf("parse error")) {
+		t.Error("isTimeout matched a non-timeout error")
+	}
+	if isTimeout(nil) {
+		t.Error("isTimeout(nil) = true")
 	}
 }
