@@ -6,7 +6,7 @@ GO ?= go
 # wholesale untested subsystem does.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all test race cover lint fuzz-smoke bench-smoke obs-smoke build ci
+.PHONY: all test race cover lint fuzz-smoke bench-smoke obs-smoke shard-smoke build ci
 
 all: test
 
@@ -54,6 +54,29 @@ bench-smoke:
 	mkdir -p artifacts
 	$(GO) run ./cmd/dnssec-scan -scale 500000 -metrics-out artifacts/metrics.json -out queries
 
+# Sharded-orchestration conformance: a scanctl 4-shard run — with one
+# worker SIGKILLed mid-run and restarted from its checkpoint — must
+# produce a merged JSONL dump and headline byte-identical to a
+# single-process -stateless run over the same world.
+shard-smoke:
+	rm -rf artifacts/shard
+	mkdir -p artifacts/shard/bin artifacts/shard/csv-ref artifacts/shard/csv-merged
+	$(GO) build -o artifacts/shard/bin/ ./cmd/dnssec-scan ./cmd/scanctl
+	artifacts/shard/bin/dnssec-scan -scale 500000 -stateless \
+		-dump artifacts/shard/ref.jsonl -csv-dir artifacts/shard/csv-ref \
+		-out headline > artifacts/shard/ref.txt
+	artifacts/shard/bin/scanctl -shards 4 -scale 500000 -run-dir artifacts/shard/run \
+		-worker artifacts/shard/bin/dnssec-scan \
+		-kill-shard 1 -kill-after-zones 32 -checkpoint-every 16 -restart-backoff 50ms \
+		-dump artifacts/shard/merged.jsonl -csv-dir artifacts/shard/csv-merged \
+		-out headline > artifacts/shard/merged.txt
+	cmp artifacts/shard/ref.jsonl artifacts/shard/merged.jsonl
+	cmp artifacts/shard/ref.txt artifacts/shard/merged.txt
+	for f in table1 table2 table3 figure1; do \
+		cmp artifacts/shard/csv-ref/$$f.csv artifacts/shard/csv-merged/$$f.csv || exit 1; \
+	done
+	@echo "shard-smoke: 4-shard merged dump, headline and CSVs byte-identical to single-process run"
+
 # Observability round-trip: a traced scan's -trace-out stream must parse
 # back through `reanalyze -trace` (every line valid, zone+stage present).
 obs-smoke:
@@ -73,3 +96,4 @@ ci:
 	$(MAKE) cover
 	$(MAKE) fuzz-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) shard-smoke

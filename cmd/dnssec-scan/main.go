@@ -18,6 +18,12 @@
 // durable prefix is recorded periodically; an interrupted run (crash or
 // SIGINT, which drains in-flight zones gracefully) continues with
 // -resume from exactly where the export stopped.
+//
+// With -shard i/N the process scans only the i-th of N contiguous
+// partitions of the zone space (deterministic in the zone index), which
+// is how cmd/scanctl fans one scan out across worker processes; the
+// {shard} placeholder in -dump/-checkpoint and friends expands to
+// "i-of-N" so one template names per-shard files.
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"dnssecboot/internal/obs"
 	"dnssecboot/internal/report"
 	"dnssecboot/internal/scan"
+	"dnssecboot/internal/shard"
 )
 
 // runConfig is the flag fingerprint embedded in checkpoints. A resume
@@ -78,7 +85,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "deterministic world/scan seed")
 		scale        = flag.Int("scale", 2000, "divide the paper's population counts by this")
 		concurrency  = flag.Int("concurrency", runtime.NumCPU(), "parallel zone scans")
-		out          = flag.String("out", "all", "artefact: all|headline|table1|table2|table3|figure1|cds|queries")
+		out          = flag.String("out", "all", "artefact: all|headline|table1|table2|table3|figure1|cds|queries|none")
 		shortCircuit = flag.Bool("short-circuit", false, "registry short-circuit: probe signals only for candidates (Appendix D)")
 		maxZones     = flag.Int("max-zones", 0, "scan at most this many zones (0 = all)")
 		rate         = flag.Float64("rate", 0, "queries/second per nameserver (0 = unlimited; the paper used 50)")
@@ -100,8 +107,18 @@ func main() {
 		checkpoint   = flag.String("checkpoint", "", "periodically persist resumable scan state to this file")
 		cpEvery      = flag.Int("checkpoint-every", 256, "zones between checkpoints (with -checkpoint)")
 		resume       = flag.String("resume", "", "resume an interrupted scan from this checkpoint file")
+		shardSpec    = flag.String("shard", "", "scan only the i-th of N contiguous zone shards, as \"i/N\" (0-based); partitions are deterministic in the zone index")
 	)
 	flag.Parse()
+	shardIdx, shardN, err := shard.Parse(*shardSpec)
+	if err != nil {
+		fatal("shard", err)
+	}
+	// Shard-aware file naming: one -dump/-checkpoint/... template can
+	// serve every worker — the {shard} placeholder expands to "i-of-N".
+	for _, p := range []*string{dump, checkpoint, resume, metricsOut, traceOut} {
+		*p = shard.PathFor(*p, shardIdx, shardN)
+	}
 	if *loss > 0 && *retries <= 1 {
 		fmt.Fprintln(os.Stderr, "warning: -loss without -retries > 1 will misclassify zones on dropped packets")
 	}
@@ -154,8 +171,15 @@ func main() {
 	if *maxZones > 0 && len(targets) > *maxZones {
 		targets = targets[:*maxZones]
 	}
+	// The shard owns the contiguous index range [rng.Lo, rng.Hi);
+	// workers derive identical boundaries from (len(targets), N) alone,
+	// so the coordinator never has to communicate them.
+	rng := shard.Partition(len(targets), shardN)[shardIdx]
 	fmt.Fprintf(os.Stderr, "generated %d zones across %d operators in %v\n",
 		len(world.Targets), len(world.Operators()), time.Since(genStart).Round(time.Millisecond))
+	if shardN > 1 {
+		fmt.Fprintf(os.Stderr, "shard %d/%d owns zones [%d, %d)\n", shardIdx, shardN, rng.Lo, rng.Hi)
+	}
 
 	cfgFP, err := json.Marshal(runConfig{
 		Seed:         *seed,
@@ -179,7 +203,7 @@ func main() {
 
 	// Resume: restore the accumulator, re-open the dump at the last
 	// durable record, and continue from the checkpointed index.
-	startIndex := 0
+	startIndex := rng.Lo
 	agg := report.NewAggregate()
 	var dumpFile *os.File
 	var dumpBase int64
@@ -188,7 +212,7 @@ func main() {
 		if err != nil {
 			fatal("resume", err)
 		}
-		if err := cp.Validate(*seed, len(targets)); err != nil {
+		if err := cp.Validate(*seed, len(targets), shardIdx, shardN); err != nil {
 			fatal("resume", err)
 		}
 		// The checkpoint file is written indented, so compact the stored
@@ -206,6 +230,9 @@ func main() {
 			}
 		}
 		startIndex = cp.NextIndex
+		if startIndex < rng.Lo || startIndex > rng.Hi {
+			fatal("resume", fmt.Errorf("checkpoint index %d outside shard range [%d, %d]", startIndex, rng.Lo, rng.Hi))
+		}
 		if *dump != "" {
 			f, err := os.OpenFile(*dump, os.O_RDWR, 0o644)
 			if err != nil {
@@ -256,6 +283,9 @@ func main() {
 			Config:     cfgFP,
 			Aggregate:  state,
 		}
+		if shardN > 1 {
+			cp.Shard, cp.Shards = shardIdx, shardN
+		}
 		if writer != nil {
 			cp.DumpBytes = dumpBase + writer.Bytes()
 		}
@@ -296,6 +326,7 @@ func main() {
 			ProgressWriter:        progressW,
 		},
 		StartIndex: startIndex,
+		EndIndex:   rng.Hi,
 		Resume:     agg,
 		Drain:      drain,
 		Sink: func(i int, zo *scan.ZoneObservation, _ *classify.Result) error {
@@ -304,7 +335,7 @@ func main() {
 					return err
 				}
 			}
-			if cpPath != "" && *cpEvery > 0 && (i+1-startIndex)%*cpEvery == 0 && i+1 < len(targets) {
+			if cpPath != "" && *cpEvery > 0 && (i+1-startIndex)%*cpEvery == 0 && i+1 < rng.Hi {
 				return writeCheckpoint(i + 1)
 			}
 			return nil
@@ -369,6 +400,12 @@ func main() {
 	}
 
 	r := study.Report
+	if *out == "none" {
+		// A shard worker's partial tables would be misleading; its
+		// contribution lives in the checkpoint state and the dump, which
+		// the coordinator merges.
+		return
+	}
 	if *csvDir != "" {
 		for _, artefact := range []string{"table1", "table2", "table3", "figure1"} {
 			f, err := os.Create(filepath.Join(*csvDir, artefact+".csv"))

@@ -22,6 +22,10 @@ type StreamOptions struct {
 	// StartIndex skips zones [0, StartIndex) — they were exported by an
 	// earlier, interrupted run and their tallies arrive via Resume.
 	StartIndex int
+	// EndIndex bounds the run to zones [StartIndex, EndIndex); zero
+	// means the end of the target list. A shard worker sets Start/End
+	// to its contiguous partition of the zone space.
+	EndIndex int
 	// Resume is the report accumulator restored from a checkpoint; nil
 	// starts the tallies from zero.
 	Resume *report.Aggregate
@@ -52,8 +56,8 @@ type StreamStudy struct {
 	TotalZones int
 	// Scanned counts the zones emitted by this run.
 	Scanned int
-	// Drained reports that the run stopped before the end of the zone
-	// list (drain signal or context cancellation) without a sink error.
+	// Drained reports that the run stopped before its end bound (drain
+	// signal or context cancellation) without a sink error.
 	Drained bool
 	// PeakLive is the maximum number of simultaneously dispatched-but-
 	// unemitted zones — the pipeline's live-memory high-water mark.
@@ -87,6 +91,9 @@ func RunStream(ctx context.Context, opts StreamOptions) (*StreamStudy, error) {
 	if opts.StartIndex < 0 || opts.StartIndex > len(targets) {
 		return nil, fmt.Errorf("core: resume index %d outside [0, %d]", opts.StartIndex, len(targets))
 	}
+	if opts.EndIndex != 0 && (opts.EndIndex < opts.StartIndex || opts.EndIndex > len(targets)) {
+		return nil, fmt.Errorf("core: end index %d outside [%d, %d]", opts.EndIndex, opts.StartIndex, len(targets))
+	}
 
 	agg := opts.Resume
 	if agg == nil {
@@ -99,6 +106,7 @@ func RunStream(ctx context.Context, opts StreamOptions) (*StreamStudy, error) {
 	start := time.Now()
 	res, err := scanner.ScanStream(ctx, targets, scan.StreamOptions{
 		Start:  opts.StartIndex,
+		Stop:   opts.EndIndex,
 		Window: opts.Window,
 		Drain:  opts.Drain,
 		Sink: func(i int, zo *scan.ZoneObservation) error {

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Shard-state merging. A sharded scan runs N worker processes over
+// disjoint contiguous slices of the zone space; each worker checkpoints
+// its own Aggregate. Because every tally in the Aggregate is a sum over
+// independent per-zone contributions, recombining shards is pure
+// addition — Merge is commutative and associative, so the coordinator
+// may fold shard states in any order and still render the exact tables
+// a single-process run over the whole zone list would have produced
+// (the property the conformance battery in internal/shard asserts at
+// the byte level).
+
+// Merge folds the tallies of b into a. Both aggregates must describe
+// disjoint zone sets (e.g. different shards of one scan); merging
+// overlapping sets double-counts, which nothing here can detect.
+func (a *Aggregate) Merge(b *Aggregate) {
+	a.Total += b.Total
+	a.Unresolved += b.Unresolved
+	for k, v := range b.ByStatus {
+		a.ByStatus[k] += v
+	}
+	for k, v := range b.ByBucket {
+		a.ByBucket[k] += v
+	}
+	for name, op := range b.Operators {
+		if op == nil {
+			continue
+		}
+		a.op(name).merge(op)
+	}
+
+	a.CDSPresent += b.CDSPresent
+	a.CDSQueryFailed += b.CDSQueryFailed
+	a.CDSInconsistent += b.CDSInconsistent
+	a.CDSInconsistentMO += b.CDSInconsistentMO
+	a.CDSInUnsigned += b.CDSInUnsigned
+	a.CDSDeleteUnsigned += b.CDSDeleteUnsigned
+	a.CDSDeleteSecured += b.CDSDeleteSecured
+	a.CDSDeleteIslands += b.CDSDeleteIslands
+	a.CDSOrphan += b.CDSOrphan
+	a.CDSBadSig += b.CDSBadSig
+
+	a.Queries += b.Queries
+	a.Retries += b.Retries
+	a.GaveUp += b.GaveUp
+	a.CacheHits += b.CacheHits
+	a.CacheMisses += b.CacheMisses
+	a.Coalesced += b.Coalesced
+}
+
+// merge adds another shard's counts for the same operator.
+func (s *OperatorStats) merge(o *OperatorStats) {
+	s.Domains += o.Domains
+	s.Unsigned += o.Unsigned
+	s.Secured += o.Secured
+	s.Invalid += o.Invalid
+	s.Islands += o.Islands
+	s.CDS += o.CDS
+	s.DeleteIslands += o.DeleteIslands
+	s.WithSignal += o.WithSignal
+	s.AlreadySecured += o.AlreadySecured
+	s.CannotBootstrap += o.CannotBootstrap
+	s.DeletionRequest += o.DeletionRequest
+	s.InvalidDNSSEC += o.InvalidDNSSEC
+	s.Potential += o.Potential
+	s.Incorrect += o.Incorrect
+	s.Correct += o.Correct
+}
+
+// ShardState is one shard's serialized accumulator plus the identity
+// the coordinator validates before merging.
+type ShardState struct {
+	// Shard is the shard index, for error messages only.
+	Shard int
+	// Config is the pipeline flag fingerprint the shard ran under
+	// (scan.Checkpoint.Config). Shards scanned with different flags
+	// observed different worlds; merging them is refused.
+	Config json.RawMessage
+	// State is the MarshalState output from the shard's final
+	// checkpoint.
+	State []byte
+}
+
+// MergeShardStates validates and merges the final accumulator states of
+// a sharded scan. Every shard must carry the same config fingerprint
+// (compared in compact form, since checkpoints store it indented) and a
+// readable state version; any mismatch refuses the whole merge rather
+// than producing a silently skewed report.
+func MergeShardStates(states []ShardState) (*Aggregate, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("report: no shard states to merge")
+	}
+	compact := func(raw json.RawMessage) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, raw); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	ref, err := compact(states[0].Config)
+	if err != nil {
+		return nil, fmt.Errorf("report: shard %d config fingerprint: %w", states[0].Shard, err)
+	}
+	merged := NewAggregate()
+	for _, st := range states {
+		fp, err := compact(st.Config)
+		if err != nil {
+			return nil, fmt.Errorf("report: shard %d config fingerprint: %w", st.Shard, err)
+		}
+		if !bytes.Equal(fp, ref) {
+			return nil, fmt.Errorf("report: shard %d was scanned with different flags than shard %d: %s vs %s",
+				st.Shard, states[0].Shard, fp, ref)
+		}
+		agg, err := UnmarshalState(st.State)
+		if err != nil {
+			return nil, fmt.Errorf("report: shard %d state: %w", st.Shard, err)
+		}
+		merged.Merge(agg)
+	}
+	return merged, nil
+}

@@ -14,8 +14,15 @@ import (
 // re-keyed by their stable string forms: raw integer keys would silently
 // rot whenever the classify enums are reordered.
 
+// StateVersion is the aggregate-state wire version, bumped on
+// incompatible changes. A merge or resume across mismatched versions is
+// refused: summing tallies whose meaning drifted between binaries would
+// corrupt every table silently.
+const StateVersion = 1
+
 // aggregateState is the wire form of Aggregate.
 type aggregateState struct {
+	Version    int            `json:"state_version"`
 	Total      int            `json:"total"`
 	Unresolved int            `json:"unresolved"`
 	ByStatus   map[string]int `json:"by_status,omitempty"`
@@ -46,6 +53,7 @@ type aggregateState struct {
 // checkpoint.
 func (a *Aggregate) MarshalState() ([]byte, error) {
 	st := aggregateState{
+		Version:    StateVersion,
 		Total:      a.Total,
 		Unresolved: a.Unresolved,
 		Operators:  a.Operators,
@@ -94,6 +102,9 @@ func UnmarshalState(data []byte) (*Aggregate, error) {
 	var st aggregateState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return nil, fmt.Errorf("report: parsing aggregate state: %w", err)
+	}
+	if st.Version != StateVersion {
+		return nil, fmt.Errorf("report: aggregate state version %d, this binary reads %d", st.Version, StateVersion)
 	}
 	a := NewAggregate()
 	a.Total = st.Total

@@ -2,7 +2,10 @@ package report
 
 import (
 	"encoding/json"
+	"fmt"
+	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"dnssecboot/internal/classify"
@@ -108,8 +111,8 @@ func TestAggregateStateUsesStableEnumNames(t *testing.T) {
 
 func TestUnmarshalStateRefusesUnknownNames(t *testing.T) {
 	for _, bad := range []string{
-		`{"by_status":{"quantum":1}}`,
-		`{"by_bucket":{"quantum":1}}`,
+		`{"state_version":1,"by_status":{"quantum":1}}`,
+		`{"state_version":1,"by_bucket":{"quantum":1}}`,
 	} {
 		if _, err := UnmarshalState([]byte(bad)); err == nil {
 			t.Errorf("UnmarshalState(%s) accepted an unknown enum name", bad)
@@ -118,4 +121,220 @@ func TestUnmarshalStateRefusesUnknownNames(t *testing.T) {
 	if _, err := UnmarshalState([]byte(`{not json`)); err == nil {
 		t.Error("UnmarshalState accepted malformed JSON")
 	}
+}
+
+func TestUnmarshalStateRefusesVersions(t *testing.T) {
+	// Missing, zero, stale and future versions are all refused: tallies
+	// whose meaning drifted between binaries must not be merged or
+	// resumed.
+	for _, bad := range []string{
+		`{"total":10}`,
+		`{"state_version":0,"total":10}`,
+		`{"state_version":99,"total":10}`,
+	} {
+		if _, err := UnmarshalState([]byte(bad)); err == nil {
+			t.Errorf("UnmarshalState(%s) accepted a mismatched state version", bad)
+		} else if !strings.Contains(err.Error(), "version") {
+			t.Errorf("UnmarshalState(%s) refusal does not name the version: %v", bad, err)
+		}
+	}
+}
+
+// randomResults synthesizes n classification results covering every
+// tally the accumulator keeps, from a seeded source so failures replay.
+func randomResults(rnd *rand.Rand, n int) []*classify.Result {
+	operators := []string{"cloudflare", "godaddy", "hetzner", "OtherDNS", "wix"}
+	results := make([]*classify.Result, n)
+	for i := range results {
+		r := &classify.Result{
+			Zone:        fmt.Sprintf("zone-%d.example.", i),
+			Status:      classify.Statuses[rnd.Intn(len(classify.Statuses))],
+			Bucket:      classify.Potentials[rnd.Intn(len(classify.Potentials))],
+			Queries:     rnd.Int63n(50),
+			Retries:     rnd.Int63n(5),
+			GaveUp:      rnd.Int63n(2),
+			CacheHits:   rnd.Int63n(30),
+			CacheMisses: rnd.Int63n(30),
+			Coalesced:   rnd.Int63n(10),
+		}
+		r.Operator.Operator = operators[rnd.Intn(len(operators))]
+		r.Operator.MultiOperator = rnd.Intn(4) == 0
+		r.CDS = classify.CDSInfo{
+			Present:        rnd.Intn(2) == 0,
+			QueryFailed:    rnd.Intn(8) == 0,
+			Consistent:     rnd.Intn(4) != 0,
+			Delete:         rnd.Intn(6) == 0,
+			MatchesDNSKEY:  rnd.Intn(3) != 0,
+			SigValid:       rnd.Intn(3) != 0,
+			InUnsignedZone: rnd.Intn(5) == 0,
+		}
+		r.Signal = classify.SignalInfo{
+			Probed:          true,
+			HasSignal:       rnd.Intn(2) == 0,
+			AlreadySecured:  rnd.Intn(5) == 0,
+			DeletionRequest: rnd.Intn(7) == 0,
+			InvalidDNSSEC:   rnd.Intn(7) == 0,
+			Potential:       rnd.Intn(3) == 0,
+			Correct:         rnd.Intn(2) == 0,
+		}
+		results[i] = r
+	}
+	return results
+}
+
+// splitBuild partitions results by a random assignment into parts
+// accumulators.
+func splitBuild(rnd *rand.Rand, results []*classify.Result, parts int) []*Aggregate {
+	aggs := make([]*Aggregate, parts)
+	for i := range aggs {
+		aggs[i] = NewAggregate()
+	}
+	for _, r := range results {
+		aggs[rnd.Intn(parts)].Add(r)
+	}
+	return aggs
+}
+
+// mergedEqual compares two aggregates structurally and through every
+// rendered artefact — byte-equal tables are the property sharding
+// actually depends on.
+func mergedEqual(t *testing.T, label string, got, want *Aggregate) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: merged aggregate differs structurally:\n got %+v\nwant %+v", label, got, want)
+		return
+	}
+	for name, render := range map[string]func(*Aggregate) string{
+		"headline": (*Aggregate).Headline,
+		"table3":   (*Aggregate).Table3,
+		"cds":      (*Aggregate).CDSFindings,
+		"queries":  (*Aggregate).QueryStats,
+	} {
+		if g, w := render(got), render(want); g != w {
+			t.Errorf("%s: %s differs after merge:\n got: %s\nwant: %s", label, name, g, w)
+		}
+	}
+}
+
+// TestMergeEqualsUnifiedBuild is the core soundness property: however a
+// result set is partitioned, merging the per-part accumulators equals
+// accumulating the whole set directly.
+func TestMergeEqualsUnifiedBuild(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		results := randomResults(rnd, 50+rnd.Intn(200))
+		want := Build(results)
+		parts := 2 + rnd.Intn(5)
+		aggs := splitBuild(rnd, results, parts)
+		got := NewAggregate()
+		for _, a := range aggs {
+			got.Merge(a)
+		}
+		mergedEqual(t, fmt.Sprintf("trial %d (%d parts)", trial, parts), got, want)
+	}
+}
+
+// TestMergeCommutativeAssociative: fold order must not matter — the
+// coordinator merges shard states in whatever order they land.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	results := randomResults(rnd, 300)
+	want := Build(results)
+	aggs := splitBuild(rnd, results, 4)
+
+	orders := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{2, 0, 3, 1},
+	}
+	for _, order := range orders {
+		got := NewAggregate()
+		for _, i := range order {
+			got.Merge(aggs[i])
+		}
+		mergedEqual(t, fmt.Sprintf("order %v", order), got, want)
+	}
+
+	// Associativity: (a·b)·(c·d) == ((a·b)·c)·d. Merge mutates the
+	// receiver, so rebuild intermediates from fresh copies via the wire
+	// form.
+	rebuild := func(idx ...int) *Aggregate {
+		out := NewAggregate()
+		for _, i := range idx {
+			data, err := aggs[i].MarshalState()
+			if err != nil {
+				t.Fatalf("MarshalState: %v", err)
+			}
+			a, err := UnmarshalState(data)
+			if err != nil {
+				t.Fatalf("UnmarshalState: %v", err)
+			}
+			out.Merge(a)
+		}
+		return out
+	}
+	left := rebuild(0, 1)
+	right := rebuild(2, 3)
+	left.Merge(right)
+	mergedEqual(t, "grouped (ab)(cd)", left, want)
+}
+
+func TestMergeShardStates(t *testing.T) {
+	rnd := rand.New(rand.NewSource(23))
+	results := randomResults(rnd, 200)
+	want := Build(results)
+	aggs := splitBuild(rnd, results, 3)
+
+	cfg := json.RawMessage(`{"seed": 1, "scale": 2000}`)
+	// Checkpoints store the fingerprint indented; MergeShardStates must
+	// compare compact forms, so give each shard a differently-spaced but
+	// equivalent fingerprint.
+	cfgIndented := json.RawMessage("{\n  \"seed\": 1,\n  \"scale\": 2000\n}")
+	states := make([]ShardState, len(aggs))
+	for i, a := range aggs {
+		data, err := a.MarshalState()
+		if err != nil {
+			t.Fatalf("MarshalState: %v", err)
+		}
+		fp := cfg
+		if i%2 == 1 {
+			fp = cfgIndented
+		}
+		states[i] = ShardState{Shard: i, Config: fp, State: data}
+	}
+	got, err := MergeShardStates(states)
+	if err != nil {
+		t.Fatalf("MergeShardStates: %v", err)
+	}
+	mergedEqual(t, "shard states", got, want)
+
+	// Refusals: mismatched fingerprints, unreadable state versions,
+	// and an empty set.
+	divergent := make([]ShardState, len(states))
+	copy(divergent, states)
+	divergent[1].Config = json.RawMessage(`{"seed": 2, "scale": 2000}`)
+	if _, err := MergeShardStates(divergent); err == nil {
+		t.Error("MergeShardStates accepted shards scanned under different flags")
+	}
+	stale := make([]ShardState, len(states))
+	copy(stale, states)
+	stale[2].State = []byte(`{"state_version":99,"total":5}`)
+	if _, err := MergeShardStates(stale); err == nil {
+		t.Error("MergeShardStates accepted a mismatched state version")
+	}
+	if _, err := MergeShardStates(nil); err == nil {
+		t.Error("MergeShardStates accepted an empty shard set")
+	}
+}
+
+func TestMergeEmptyIsIdentity(t *testing.T) {
+	a := populatedAggregate()
+	want := populatedAggregate()
+	a.Merge(NewAggregate())
+	if !reflect.DeepEqual(a, want) {
+		t.Errorf("merging an empty aggregate changed the receiver:\n got %+v\nwant %+v", a, want)
+	}
+	b := NewAggregate()
+	b.Merge(want)
+	mergedEqual(t, "empty receiver", b, want)
 }

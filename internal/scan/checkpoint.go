@@ -15,8 +15,11 @@ import (
 // seeds, truncates the JSONL dump back to the last durable record, and
 // continues the scan from NextIndex.
 
-// CheckpointVersion is bumped on incompatible format changes.
-const CheckpointVersion = 1
+// CheckpointVersion is bumped on incompatible format changes. Version 2
+// added shard identity and the versioned aggregate-state envelope
+// (report.StateVersion); version-1 checkpoints predate both and cannot
+// be resumed safely.
+const CheckpointVersion = 2
 
 // Checkpoint records the durable state of an interrupted streaming
 // scan. The pipeline-level pieces (CLI flag fingerprint, report
@@ -33,8 +36,16 @@ type Checkpoint struct {
 	// TotalZones is the length of the target list; a resume against a
 	// world of a different size is refused.
 	TotalZones int `json:"total_zones"`
+	// Shard and Shards record the writing process's shard geometry:
+	// this checkpoint covers the Shard-th of Shards contiguous
+	// partitions of the zone space (0-based). Shards zero or one both
+	// mean an unsharded scan; a resume under different geometry is
+	// refused, because the dump prefix and NextIndex are only
+	// meaningful relative to the shard's own range.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
 	// NextIndex is the first zone index NOT yet exported: the JSONL
-	// dump holds exactly the records for zones [0, NextIndex).
+	// dump holds exactly the records for zones [shard start, NextIndex).
 	NextIndex int `json:"next_index"`
 	// DumpBytes is the byte length of the dump file at the moment this
 	// checkpoint was written (after a flush). On resume the dump is
@@ -50,9 +61,23 @@ type Checkpoint struct {
 	Aggregate json.RawMessage `json:"aggregate,omitempty"`
 }
 
+// normalizeGeometry maps the two spellings of "unsharded" (Shards 0,
+// the pre-shard wire form, and Shards 1) onto one canonical pair.
+func normalizeGeometry(shard, shards int) (int, int) {
+	if shards <= 1 {
+		return 0, 1
+	}
+	return shard, shards
+}
+
 // Validate checks a loaded checkpoint against the world a resume
-// reconstructed.
-func (c *Checkpoint) Validate(seed int64, totalZones int) error {
+// reconstructed and the shard geometry it is running under. The
+// fingerprint is seed + world size + shard identity: a checkpoint
+// written by shard i/N describes a dump prefix and NextIndex that only
+// make sense inside that shard's range, so resuming it as a different
+// shard — or as an unsharded scan — would silently skip or duplicate
+// zones.
+func (c *Checkpoint) Validate(seed int64, totalZones, shard, shards int) error {
 	if c.Version != CheckpointVersion {
 		return fmt.Errorf("scan: checkpoint version %d, this binary writes %d", c.Version, CheckpointVersion)
 	}
@@ -61,6 +86,12 @@ func (c *Checkpoint) Validate(seed int64, totalZones int) error {
 	}
 	if c.TotalZones != totalZones {
 		return fmt.Errorf("scan: checkpoint covers %d zones but the regenerated world has %d", c.TotalZones, totalZones)
+	}
+	cpShard, cpShards := normalizeGeometry(c.Shard, c.Shards)
+	wantShard, wantShards := normalizeGeometry(shard, shards)
+	if cpShard != wantShard || cpShards != wantShards {
+		return fmt.Errorf("scan: checkpoint was written by shard %d/%d, cannot resume as shard %d/%d",
+			cpShard, cpShards, wantShard, wantShards)
 	}
 	if c.NextIndex < 0 || c.NextIndex > c.TotalZones {
 		return fmt.Errorf("scan: checkpoint next_index %d outside [0, %d]", c.NextIndex, c.TotalZones)

@@ -1,0 +1,102 @@
+package scan
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Version:    CheckpointVersion,
+		Seed:       1,
+		TotalZones: 2033,
+		Shard:      1,
+		Shards:     4,
+		NextIndex:  700,
+	}
+}
+
+// TestValidateRefusesShardGeometry is the regression for the checkpoint
+// fingerprint covering only seed+totalZones: a checkpoint written by
+// shard i/N describes a dump prefix relative to that shard's range, so
+// resuming it under any other geometry must be refused — before the
+// fix, `-shard 0/2` checkpoints resumed cleanly as `-shard 0/4` and
+// silently scanned the wrong half of the world.
+func TestValidateRefusesShardGeometry(t *testing.T) {
+	cases := []struct {
+		name          string
+		cpShard, cpN  int
+		shard, shards int
+		wantOK        bool
+	}{
+		{"same geometry", 1, 4, 1, 4, true},
+		{"different shard count", 0, 2, 0, 4, false},
+		{"different shard index", 1, 4, 2, 4, false},
+		{"sharded resumed unsharded", 0, 2, 0, 1, false},
+		{"unsharded resumed sharded", 0, 1, 0, 2, false},
+		{"legacy zero equals one-of-one", 0, 0, 0, 1, true},
+		{"one-of-one equals legacy zero", 0, 1, 0, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cp := validCheckpoint()
+			cp.Shard, cp.Shards = c.cpShard, c.cpN
+			cp.NextIndex = 100
+			err := cp.Validate(1, 2033, c.shard, c.shards)
+			if c.wantOK && err != nil {
+				t.Errorf("Validate refused matching geometry: %v", err)
+			}
+			if !c.wantOK {
+				if err == nil {
+					t.Fatalf("Validate accepted checkpoint from shard %d/%d under geometry %d/%d",
+						c.cpShard, c.cpN, c.shard, c.shards)
+				}
+				if !strings.Contains(err.Error(), "shard") {
+					t.Errorf("refusal does not name the shard mismatch: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestValidateRefusals(t *testing.T) {
+	for name, mutate := range map[string]func(*Checkpoint){
+		"version":        func(c *Checkpoint) { c.Version = CheckpointVersion - 1 },
+		"seed":           func(c *Checkpoint) { c.Seed = 2 },
+		"total zones":    func(c *Checkpoint) { c.TotalZones = 99 },
+		"negative index": func(c *Checkpoint) { c.NextIndex = -1 },
+		"index past end": func(c *Checkpoint) { c.NextIndex = c.TotalZones + 1 },
+	} {
+		cp := validCheckpoint()
+		mutate(cp)
+		if err := cp.Validate(1, 2033, 1, 4); err == nil {
+			t.Errorf("%s: Validate accepted a corrupt checkpoint", name)
+		}
+	}
+	if err := validCheckpoint().Validate(1, 2033, 1, 4); err != nil {
+		t.Fatalf("Validate refused a pristine checkpoint: %v", err)
+	}
+}
+
+// TestCheckpointShardRoundTrip pins that shard identity survives the
+// write/read cycle — without it the coordinator could not verify which
+// partition a checkpoint belongs to.
+func TestCheckpointShardRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.ckpt")
+	want := validCheckpoint()
+	if err := WriteCheckpoint(path, want); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	got, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("ReadCheckpoint: %v", err)
+	}
+	if got.Shard != want.Shard || got.Shards != want.Shards {
+		t.Errorf("shard identity changed in flight: got %d/%d, want %d/%d",
+			got.Shard, got.Shards, want.Shard, want.Shards)
+	}
+	if err := got.Validate(1, 2033, 1, 4); err != nil {
+		t.Errorf("round-tripped checkpoint fails validation: %v", err)
+	}
+}

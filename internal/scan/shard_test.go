@@ -1,0 +1,146 @@
+// Shard-range conformance suite. The sharded orchestration rests on two
+// properties proven here at the pipeline level (cmd/scanctl's process
+// battery in internal/shard re-proves them across process boundaries):
+// a stateless scan of shard ranges [lo, hi) concatenated in shard order
+// is byte-identical to one uninterrupted full-range export, and the
+// shards' report accumulators merged with Aggregate.Merge render the
+// exact artefacts the single run renders.
+package scan_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"dnssecboot/internal/classify"
+	"dnssecboot/internal/core"
+	"dnssecboot/internal/ecosystem"
+	"dnssecboot/internal/report"
+	"dnssecboot/internal/scan"
+	"dnssecboot/internal/shard"
+)
+
+// shardRangeRun scans zones [start, stop) of a shared world into buf
+// and returns the run's accumulator.
+func shardRangeRun(t *testing.T, world *ecosystem.Ecosystem, scale, start, stop int, buf *bytes.Buffer) *report.Aggregate {
+	t.Helper()
+	opts := core.Options{Seed: 1, ScaleDivisor: scale, Concurrency: 8, Stateless: true, World: world}
+	w := scan.NewJSONLWriter(buf)
+	study, err := core.RunStream(context.Background(), core.StreamOptions{
+		Options:    opts,
+		StartIndex: start,
+		EndIndex:   stop,
+		Sink: func(i int, zo *scan.ZoneObservation, _ *classify.Result) error {
+			return w.Write(zo)
+		},
+	})
+	if err != nil {
+		t.Fatalf("RunStream([%d, %d)): %v", start, stop, err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if study.Drained {
+		t.Fatalf("range run [%d, %d) reported Drained", start, stop)
+	}
+	if study.NextIndex != stop {
+		t.Fatalf("range run [%d, %d) stopped at %d", start, stop, study.NextIndex)
+	}
+	return study.Report
+}
+
+func TestShardedConformance(t *testing.T) {
+	// Two world scales × two shard counts, per the acceptance criteria.
+	for _, scale := range []int{500_000, 150_000} {
+		world, err := ecosystem.Generate(ecosystem.Config{Seed: 1, ScaleDivisor: scale})
+		if err != nil {
+			t.Fatalf("generating world: %v", err)
+		}
+		total := len(world.Targets)
+
+		// Reference: one uninterrupted full-range run.
+		var ref bytes.Buffer
+		refAgg := shardRangeRun(t, world, scale, 0, total, &ref)
+
+		for _, shards := range []int{2, 4} {
+			t.Run(fmt.Sprintf("scale=%d/shards=%d", scale, shards), func(t *testing.T) {
+				var merged bytes.Buffer
+				mergedAgg := report.NewAggregate()
+				for _, rng := range shard.Partition(total, shards) {
+					mergedAgg.Merge(shardRangeRun(t, world, scale, rng.Lo, rng.Hi, &merged))
+				}
+				if !bytes.Equal(merged.Bytes(), ref.Bytes()) {
+					t.Errorf("concatenated shard dumps differ from the single-run export:\n%s",
+						firstDiff(ref.String(), merged.String()))
+				}
+				for name, render := range map[string]func(*report.Aggregate) string{
+					"headline": (*report.Aggregate).Headline,
+					"table3":   (*report.Aggregate).Table3,
+					"cds":      (*report.Aggregate).CDSFindings,
+					"queries":  (*report.Aggregate).QueryStats,
+				} {
+					if got, want := render(mergedAgg), render(refAgg); got != want {
+						t.Errorf("%s differs after shard merge:\n got: %s\nwant: %s", name, got, want)
+					}
+				}
+				var gotCSV, wantCSV bytes.Buffer
+				for _, artefact := range []string{"table1", "table2", "table3", "figure1"} {
+					gotCSV.Reset()
+					wantCSV.Reset()
+					if err := mergedAgg.WriteCSV(&gotCSV, artefact); err != nil {
+						t.Fatalf("merged WriteCSV(%s): %v", artefact, err)
+					}
+					if err := refAgg.WriteCSV(&wantCSV, artefact); err != nil {
+						t.Fatalf("reference WriteCSV(%s): %v", artefact, err)
+					}
+					if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+						t.Errorf("%s CSV differs after shard merge:\n%s",
+							artefact, firstDiff(wantCSV.String(), gotCSV.String()))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardRangeStopBounds pins the Stop contract: out-of-range and
+// inverted bounds clamp rather than panic or over-scan.
+func TestShardRangeStopBounds(t *testing.T) {
+	world, err := ecosystem.Generate(ecosystem.Config{Seed: 1, ScaleDivisor: 500_000})
+	if err != nil {
+		t.Fatalf("generating world: %v", err)
+	}
+	scanner := core.NewScanner(world, core.Options{Seed: 1, Concurrency: 4, Stateless: true})
+	var emitted []int
+	res, err := scanner.ScanStream(context.Background(), world.Targets[:20], scan.StreamOptions{
+		Start: 5,
+		Stop:  12,
+		Sink: func(i int, zo *scan.ZoneObservation) error {
+			emitted = append(emitted, i)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("ScanStream: %v", err)
+	}
+	if res.Drained {
+		t.Error("bounded range reported Drained")
+	}
+	if res.Next != 12 {
+		t.Errorf("Next = %d, want 12", res.Next)
+	}
+	if len(emitted) != 7 || emitted[0] != 5 || emitted[len(emitted)-1] != 11 {
+		t.Errorf("emitted indices %v, want exactly [5, 12)", emitted)
+	}
+
+	// Stop past the end clamps to the list; Start past Stop is empty.
+	res, err = scanner.ScanStream(context.Background(), world.Targets[:8], scan.StreamOptions{Stop: 99})
+	if err != nil || res.Next != 8 {
+		t.Errorf("Stop past end: next=%d err=%v, want 8 <nil>", res.Next, err)
+	}
+	res, err = scanner.ScanStream(context.Background(), world.Targets[:8], scan.StreamOptions{Start: 6, Stop: 3})
+	if err != nil || res.Next != 3 {
+		t.Errorf("inverted bounds: next=%d err=%v, want 3 <nil>", res.Next, err)
+	}
+}

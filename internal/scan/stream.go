@@ -30,6 +30,11 @@ type StreamOptions struct {
 	// Start is the index of the first zone to scan — zones before it
 	// are assumed already exported (checkpoint resume).
 	Start int
+	// Stop bounds the scan to zones [Start, Stop). Zero (or anything
+	// past the end of the list) means the whole remainder. A shard
+	// worker sets Start/Stop to its contiguous partition of the zone
+	// space, so N cooperating processes cover the list exactly once.
+	Stop int
 	// Window bounds the number of zones dispatched but not yet emitted
 	// (in-flight scans + completions parked for reordering). Zero means
 	// 2× the scanner's concurrency.
@@ -51,9 +56,8 @@ type StreamResult struct {
 	// the contiguous range [Start, Next). A resumed stream should pass
 	// Start = Next.
 	Next int
-	// Drained is true when the stream stopped before the end of the
-	// zone list (drain signal or context cancellation) without a sink
-	// error.
+	// Drained is true when the stream stopped before its Stop bound
+	// (drain signal or context cancellation) without a sink error.
 	Drained bool
 	// PeakLive is the maximum number of zones that were dispatched but
 	// not yet emitted at any point — the pipeline's live-memory bound,
@@ -76,7 +80,7 @@ type streamDone struct {
 	poisoned bool
 }
 
-// ScanStream scans zones[opts.Start:] with bounded concurrency,
+// ScanStream scans zones[opts.Start:opts.Stop] with bounded concurrency,
 // emitting each observation to opts.Sink in input order as soon as its
 // turn arrives. Memory is bounded by O(Window), not O(zones).
 //
@@ -87,12 +91,16 @@ type streamDone struct {
 // an error (propagated as the return error). In every case the sink has
 // received exactly the contiguous prefix [Start, Next).
 func (s *Scanner) ScanStream(ctx context.Context, zones []string, opts StreamOptions) (StreamResult, error) {
+	stop := opts.Stop
+	if stop <= 0 || stop > len(zones) {
+		stop = len(zones)
+	}
 	start := opts.Start
 	if start < 0 {
 		start = 0
 	}
-	if start > len(zones) {
-		start = len(zones)
+	if start > stop {
+		start = stop
 	}
 	window := opts.Window
 	if window <= 0 {
@@ -106,7 +114,7 @@ func (s *Scanner) ScanStream(ctx context.Context, zones []string, opts StreamOpt
 
 	var progress *obs.Progress
 	if s.cfg.ProgressWriter != nil {
-		progress = obs.NewProgress(s.cfg.ProgressWriter, len(zones)-start, s.cfg.ProgressInterval)
+		progress = obs.NewProgress(s.cfg.ProgressWriter, stop-start, s.cfg.ProgressInterval)
 	}
 	defer progress.Stop()
 
@@ -131,7 +139,7 @@ func (s *Scanner) ScanStream(ctx context.Context, zones []string, opts StreamOpt
 	go func() {
 		defer wg.Done()
 		defer close(jobs)
-		for i := start; i < len(zones); i++ {
+		for i := start; i < stop; i++ {
 			// Explicit pre-check: when ictx is already done, a select
 			// with a free token would still dispatch zones at random.
 			if ictx.Err() != nil {
@@ -181,7 +189,7 @@ func (s *Scanner) ScanStream(ctx context.Context, zones []string, opts StreamOpt
 	// prefix stays clean, and a resume re-scans from there.
 	pending := make(map[int]*ZoneObservation, window)
 	next := start
-	stopAt := len(zones)
+	stopAt := stop
 	peak := 0
 	var sinkErr error
 	for d := range done {
@@ -222,6 +230,6 @@ func (s *Scanner) ScanStream(ctx context.Context, zones []string, opts StreamOpt
 		}
 	}
 
-	res := StreamResult{Next: next, PeakLive: peak, Drained: sinkErr == nil && next < len(zones)}
+	res := StreamResult{Next: next, PeakLive: peak, Drained: sinkErr == nil && next < stop}
 	return res, sinkErr
 }

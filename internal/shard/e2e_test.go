@@ -1,0 +1,250 @@
+// End-to-end conformance battery for the sharded orchestration: real
+// dnssec-scan worker processes driven by the coordinator, with the
+// merged JSONL dump, CSV series and rendered report compared byte-for-
+// byte against a single-process -stateless run of the same world — the
+// headline guarantee of cmd/scanctl, including under an injected
+// mid-run worker kill and checkpoint restart.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dnssecboot/internal/obs"
+	"dnssecboot/internal/report"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// workerBinary builds cmd/dnssec-scan once per test run and returns its
+// path. The coordinator is exercised through the library (Run), so only
+// the worker needs a real binary.
+func workerBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		goTool, err := exec.LookPath("go")
+		if err != nil {
+			buildErr = fmt.Errorf("go toolchain not in PATH: %w", err)
+			return
+		}
+		buildDir, err = os.MkdirTemp("", "shard-e2e-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		cmd := exec.Command(goTool, "build", "-o", buildDir+string(os.PathSeparator), "../../cmd/dnssec-scan")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("building dnssec-scan: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("worker binary: %v", buildErr)
+	}
+	return filepath.Join(buildDir, "dnssec-scan")
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+// reference runs a single-process -stateless scan of the given scale
+// and returns its dump bytes, headline text, and CSV artefacts.
+func reference(t *testing.T, bin string, scale int) (dump []byte, headline string, csv map[string][]byte) {
+	t.Helper()
+	dir := t.TempDir()
+	csvDir := filepath.Join(dir, "csv")
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dumpPath := filepath.Join(dir, "ref.jsonl")
+	cmd := exec.Command(bin,
+		"-scale", fmt.Sprint(scale), "-stateless",
+		"-dump", dumpPath, "-csv-dir", csvDir, "-out", "headline")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, stderr.String())
+	}
+	dumpBytes, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatalf("reference dump: %v", err)
+	}
+	csv = make(map[string][]byte)
+	for _, artefact := range []string{"table1", "table2", "table3", "figure1"} {
+		b, err := os.ReadFile(filepath.Join(csvDir, artefact+".csv"))
+		if err != nil {
+			t.Fatalf("reference %s: %v", artefact, err)
+		}
+		csv[artefact] = b
+	}
+	return dumpBytes, stdout.String(), csv
+}
+
+// shardedRun drives the coordinator over real worker processes and
+// returns the merged dump and aggregate.
+func shardedRun(t *testing.T, bin string, scale, shards int, mutate func(*Config)) ([]byte, *report.Aggregate, *Result) {
+	t.Helper()
+	dir := t.TempDir()
+	mergedPath := filepath.Join(dir, "merged.jsonl")
+	cfg := Config{
+		Shards: shards,
+		RunDir: filepath.Join(dir, "run"),
+		Worker: WorkerConfig{
+			Bin: bin,
+			Args: []string{
+				"-seed", "1", "-scale", fmt.Sprint(scale),
+				"-concurrency", "4", "-stateless=true",
+				"-checkpoint-every", "16",
+			},
+			Dump: true,
+		},
+		MergedDump:  mergedPath,
+		MaxRestarts: 3,
+		Backoff:     50 * time.Millisecond,
+		KillShard:   -1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	res, err := Run(ctx, cfg)
+	if err != nil {
+		logs, _ := filepath.Glob(filepath.Join(cfg.RunDir, "*.log"))
+		var tails strings.Builder
+		for _, l := range logs {
+			b, _ := os.ReadFile(l)
+			fmt.Fprintf(&tails, "--- %s ---\n%s\n", filepath.Base(l), b)
+		}
+		t.Fatalf("coordinated run (%d shards): %v\n%s", shards, err, tails.String())
+	}
+	merged, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatalf("merged dump: %v", err)
+	}
+	return merged, res.Aggregate, res
+}
+
+// assertConformance checks the sharded outputs byte-for-byte against
+// the single-process reference.
+func assertConformance(t *testing.T, label string, refDump, gotDump []byte, refHeadline string, refCSV map[string][]byte, agg *report.Aggregate) {
+	t.Helper()
+	if !bytes.Equal(gotDump, refDump) {
+		t.Errorf("%s: merged dump differs from single-process export (got %d bytes, want %d)",
+			label, len(gotDump), len(refDump))
+	}
+	if got := agg.Headline() + "\n"; got != refHeadline {
+		t.Errorf("%s: headline differs:\n got: %q\nwant: %q", label, got, refHeadline)
+	}
+	for artefact, want := range refCSV {
+		var got bytes.Buffer
+		if err := agg.WriteCSV(&got, artefact); err != nil {
+			t.Fatalf("%s: WriteCSV(%s): %v", label, artefact, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("%s: %s CSV differs from single-process output", label, artefact)
+		}
+	}
+}
+
+// TestCoordinatedConformance is the headline guarantee at two shard
+// counts and two world scales: a coordinated multi-process run is
+// byte-identical to a single-process -stateless run of the same world.
+func TestCoordinatedConformance(t *testing.T) {
+	bin := workerBinary(t)
+	for _, tc := range []struct {
+		scale, shards int
+	}{
+		{500_000, 2},
+		{500_000, 4},
+		{150_000, 2},
+		{150_000, 4},
+	} {
+		t.Run(fmt.Sprintf("scale=%d/shards=%d", tc.scale, tc.shards), func(t *testing.T) {
+			refDump, refHeadline, refCSV := reference(t, bin, tc.scale)
+			gotDump, agg, res := shardedRun(t, bin, tc.scale, tc.shards, nil)
+			assertConformance(t, "conformance", refDump, gotDump, refHeadline, refCSV, agg)
+			if res.Restarts != 0 {
+				t.Errorf("healthy run needed %d restarts", res.Restarts)
+			}
+		})
+	}
+}
+
+// TestCoordinatedKillRestartConformance is the shard-failure
+// regression: one worker is SIGKILLed mid-run, the coordinator restarts
+// it from its last durable checkpoint, and the merged output is still
+// byte-identical — the multi-process extension of the drain-prefix/
+// resume byte-equality tests in internal/scan.
+func TestCoordinatedKillRestartConformance(t *testing.T) {
+	bin := workerBinary(t)
+	const scale, shards = 500_000, 4
+	refDump, refHeadline, refCSV := reference(t, bin, scale)
+	gotDump, agg, res := shardedRun(t, bin, scale, shards, func(cfg *Config) {
+		cfg.KillShard = 1
+		cfg.KillAfterZones = 32
+	})
+	if res.Restarts < 1 {
+		t.Fatal("injected kill did not cause a restart; the regression did not exercise the resume path")
+	}
+	assertConformance(t, "kill+restart", refDump, gotDump, refHeadline, refCSV, agg)
+}
+
+// TestCoordinatorGivesUpAfterBudget pins the bounded-restart contract:
+// a worker that always dies must fail the run after MaxRestarts+1
+// attempts, not spin forever.
+func TestCoordinatorGivesUpAfterBudget(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Shards:      2,
+		RunDir:      filepath.Join(dir, "run"),
+		Worker:      WorkerConfig{Bin: "/bin/false"},
+		MaxRestarts: 2,
+		Backoff:     time.Millisecond,
+		KillShard:   -1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	_, err := Run(ctx, cfg)
+	if err == nil {
+		t.Fatal("coordinator succeeded with a worker that always fails")
+	}
+	if !strings.Contains(err.Error(), "giving up") {
+		t.Errorf("error does not mention the exhausted budget: %v", err)
+	}
+}
+
+// TestCoordinatorRollup checks the per-shard progress rollup sees real
+// checkpoint-derived totals.
+func TestCoordinatorRollup(t *testing.T) {
+	bin := workerBinary(t)
+	var buf bytes.Buffer
+	rollup := obs.NewShardRollup(&buf, 2)
+	_, _, _ = shardedRun(t, bin, 500_000, 2, func(cfg *Config) {
+		cfg.Rollup = rollup
+	})
+	done, total := rollup.Totals()
+	if total == 0 || done != total {
+		t.Errorf("rollup totals = %d/%d after a completed run, want equal and nonzero", done, total)
+	}
+	if !strings.Contains(buf.String(), "shards:") {
+		t.Errorf("rollup rendered nothing: %q", buf.String())
+	}
+}

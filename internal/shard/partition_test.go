@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionCoversContiguously(t *testing.T) {
+	for _, total := range []int{0, 1, 2, 7, 100, 2033, 287_600} {
+		for _, shards := range []int{1, 2, 3, 4, 16, 97} {
+			ranges := Partition(total, shards)
+			if len(ranges) != shards {
+				t.Fatalf("Partition(%d, %d) returned %d ranges", total, shards, len(ranges))
+			}
+			covered := 0
+			prevHi := 0
+			minLen, maxLen := total, 0
+			for i, r := range ranges {
+				if r.Lo != prevHi {
+					t.Errorf("Partition(%d, %d): range %d starts at %d, previous ended at %d",
+						total, shards, i, r.Lo, prevHi)
+				}
+				if r.Len() < 0 {
+					t.Errorf("Partition(%d, %d): range %d is negative: %+v", total, shards, i, r)
+				}
+				if r.Len() < minLen {
+					minLen = r.Len()
+				}
+				if r.Len() > maxLen {
+					maxLen = r.Len()
+				}
+				covered += r.Len()
+				prevHi = r.Hi
+			}
+			if prevHi != total || covered != total {
+				t.Errorf("Partition(%d, %d) covers [0, %d) with %d zones, want exactly [0, %d)",
+					total, shards, prevHi, covered, total)
+			}
+			if maxLen-minLen > 1 {
+				t.Errorf("Partition(%d, %d): range sizes span [%d, %d], want balanced within 1",
+					total, shards, minLen, maxLen)
+			}
+		}
+	}
+}
+
+func TestPartitionIsReproducible(t *testing.T) {
+	// Shard boundaries are derived independently by every worker and the
+	// coordinator; two computations must agree exactly.
+	a := Partition(2033, 4)
+	b := Partition(2033, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Partition is not deterministic: %v vs %v", a, b)
+	}
+	want := []Range{{0, 509}, {509, 1017}, {1017, 1525}, {1525, 2033}}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("Partition(2033, 4) = %v, want %v", a, want)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in            string
+		shard, shards int
+		wantErr       bool
+	}{
+		{"", 0, 1, false},
+		{"0/1", 0, 1, false},
+		{"0/4", 0, 4, false},
+		{"3/4", 3, 4, false},
+		{"4/4", 0, 0, true},
+		{"-1/4", 0, 0, true},
+		{"1", 0, 0, true},
+		{"a/4", 0, 0, true},
+		{"1/b", 0, 0, true},
+		{"1/0", 0, 0, true},
+	}
+	for _, c := range cases {
+		shard, shards, err := Parse(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Parse(%q) error = %v, wantErr %t", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && (shard != c.shard || shards != c.shards) {
+			t.Errorf("Parse(%q) = %d/%d, want %d/%d", c.in, shard, shards, c.shard, c.shards)
+		}
+	}
+}
+
+func TestPathFor(t *testing.T) {
+	if got, want := PathFor("run/dump-{shard}.jsonl", 2, 8), "run/dump-2-of-8.jsonl"; got != want {
+		t.Errorf("PathFor = %q, want %q", got, want)
+	}
+	if got := PathFor("plain.jsonl", 2, 8); got != "plain.jsonl" {
+		t.Errorf("PathFor without placeholder changed the path: %q", got)
+	}
+}
