@@ -6,7 +6,7 @@ GO ?= go
 # wholesale untested subsystem does.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all test race cover lint fuzz-smoke bench-smoke obs-smoke shard-smoke build ci
+.PHONY: all test race cover lint fuzz-smoke bench-smoke obs-smoke shard-smoke serve-smoke build ci
 
 all: test
 
@@ -77,6 +77,14 @@ shard-smoke:
 	done
 	@echo "shard-smoke: 4-shard merged dump, headline and CSVs byte-identical to single-process run"
 
+# Serving-path gate: dnsd serves the signed smoke zone on an ephemeral
+# port, dnsblast drives it with a zipfian UDP+TCP mix and asserts
+# nonzero qps with zero protocol errors, then SIGTERM must produce a
+# clean graceful drain (exit 0, in-flight queries answered) and a
+# well-formed metrics snapshot.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
+
 # Observability round-trip: a traced scan's -trace-out stream must parse
 # back through `reanalyze -trace` (every line valid, zone+stage present).
 obs-smoke:
@@ -97,3 +105,4 @@ ci:
 	$(MAKE) fuzz-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) serve-smoke

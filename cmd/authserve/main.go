@@ -1,6 +1,8 @@
 // Command authserve serves one or more zone files authoritatively over
 // real UDP and TCP (with AXFR). Behaviour flags reproduce the server
-// quirks the paper observed in the wild.
+// quirks the paper observed in the wild. For a production-shaped
+// daemon (response cache, metrics snapshots, tuned worker pool) see
+// cmd/dnsd; authserve stays the minimal quirk-modelling server.
 //
 // Usage:
 //
@@ -9,13 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"strings"
 	"syscall"
+	"time"
 
 	"dnssecboot/internal/server"
 	"dnssecboot/internal/zone"
@@ -29,6 +31,7 @@ func main() {
 		servfail  = flag.Float64("servfail-rate", 0, "probability of transient SERVFAIL")
 		drop      = flag.Float64("drop-rate", 0, "probability of silently dropping a query")
 		seed      = flag.Int64("seed", 1, "behaviour randomness seed")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on shutdown")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -44,11 +47,14 @@ func main() {
 		DropRate:           *drop,
 	}
 	for _, path := range flag.Args() {
+		origin, err := zone.OriginFromFilename(path)
+		if err != nil {
+			fatal(err)
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			fatal(err)
 		}
-		origin := originFromFilename(path)
 		z, err := zone.Parse(f, origin)
 		f.Close()
 		if err != nil {
@@ -66,19 +72,14 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	_ = l.Close()
-}
-
-// originFromFilename derives "example.com." from "example.com.db" or
-// "example.com.zone"; files may also set $ORIGIN themselves.
-func originFromFilename(path string) string {
-	base := filepath.Base(path)
-	for _, suffix := range []string{".db", ".zone"} {
-		if strings.HasSuffix(base, suffix) {
-			return strings.TrimSuffix(base, suffix) + "."
-		}
+	// Share the daemon's graceful-drain path: stop intake, answer
+	// everything in flight, then release the sockets.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := l.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("drain incomplete: %w", err))
 	}
-	return ""
+	fmt.Fprintln(os.Stderr, "authserve: drained cleanly")
 }
 
 func fatal(err error) {

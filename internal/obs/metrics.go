@@ -334,6 +334,29 @@ func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
 }
 
+// UnmarshalJSON is the inverse of MarshalJSON: it accepts both plain
+// float bounds and the "inf" string, so exported snapshots round-trip
+// (dnsblast -verify-metrics reads dnsd's -metrics-out this way).
+func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var s string
+	if err := json.Unmarshal(raw.LE, &s); err == nil {
+		if s != "inf" {
+			return fmt.Errorf("obs: bucket bound %q is neither a number nor \"inf\"", s)
+		}
+		b.LE = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(raw.LE, &b.LE)
+}
+
 // WriteJSON writes an indented snapshot of the registry to w — the
 // -metrics-out artefact.
 func (r *Registry) WriteJSON(w io.Writer) error {

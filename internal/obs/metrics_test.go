@@ -148,3 +148,40 @@ func TestSnapshotJSONRoundTrips(t *testing.T) {
 		t.Fatalf("+Inf bucket = %+v, want cumulative 3", last)
 	}
 }
+
+// An exported snapshot must decode back into the Snapshot shape,
+// including the "inf" bucket-bound encoding — dnsblast -verify-metrics
+// reads dnsd's -metrics-out artefact this way.
+func TestSnapshotJSONDecodesBack(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.udp.queries").Add(12)
+	r.Gauge("server.inflight").Set(2)
+	h := r.Histogram("server.handle.seconds", DefLatencyBuckets)
+	h.Observe(0.001)
+	h.Observe(100) // lands in the +Inf bucket
+
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if got.Counters["server.udp.queries"] != 12 || got.Gauges["server.inflight"] != 2 {
+		t.Fatalf("decoded snapshot = %+v", got)
+	}
+	hs, ok := got.Histograms["server.handle.seconds"]
+	if !ok || hs.Count != 2 {
+		t.Fatalf("decoded histogram = %+v", hs)
+	}
+	last := hs.Buckets[len(hs.Buckets)-1]
+	if !math.IsInf(last.LE, 1) || last.Count != 2 {
+		t.Fatalf("decoded +Inf bucket = %+v", last)
+	}
+	// A malformed bound string is an error, not a silent zero.
+	var b BucketSnapshot
+	if err := json.Unmarshal([]byte(`{"le":"nan","count":1}`), &b); err == nil {
+		t.Error("bogus bucket bound decoded without error")
+	}
+}

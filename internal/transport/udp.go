@@ -150,12 +150,24 @@ func WriteTCPMessage(w io.Writer, wire []byte) error {
 
 // ReadTCPMessage reads one length-prefixed DNS message.
 func ReadTCPMessage(r io.Reader) ([]byte, error) {
+	return ReadTCPMessageInto(r, nil)
+}
+
+// ReadTCPMessageInto reads one length-prefixed DNS message into buf,
+// reusing its storage when capacity allows and allocating otherwise.
+// The returned slice aliases buf; callers that keep the message across
+// reads must copy it. Serving and load-generation loops use this to
+// stay allocation-free per message.
+func ReadTCPMessageInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [2]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := int(hdr[0])<<8 | int(hdr[1])
-	buf := make([]byte, n)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}

@@ -154,6 +154,38 @@ func TestTCPFraming(t *testing.T) {
 	}
 }
 
+func TestTCPFramingInto(t *testing.T) {
+	var buf bytes.Buffer
+	scratch := make([]byte, 0, 64)
+	for _, msg := range [][]byte{{1}, {2, 3, 4}, bytes.Repeat([]byte{5}, 48)} {
+		if err := WriteTCPMessage(&buf, msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTCPMessageInto(&buf, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("round trip = %x, want %x", got, msg)
+		}
+		if cap(got) != cap(scratch) {
+			t.Errorf("message of %d bytes did not reuse the %d-byte scratch buffer", len(msg), cap(scratch))
+		}
+	}
+	// A message larger than the scratch capacity grows instead of failing.
+	big := bytes.Repeat([]byte{6}, 200)
+	if err := WriteTCPMessage(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTCPMessageInto(&buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Errorf("oversize round trip = %d bytes", len(got))
+	}
+}
+
 func TestClientUnreachable(t *testing.T) {
 	// A port nothing listens on: UDP "succeeds" to send but no reply
 	// arrives (timeout) or ICMP gives a connection-refused read error;

@@ -1,0 +1,23 @@
+package zone
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// OriginFromFilename derives a zone origin from a master-file name:
+// "example.com.db" or "example.com.zone" → "example.com.". Filenames
+// that do not follow the convention are an error naming the file, so a
+// typo surfaces at load time instead of as a confusing parse failure
+// later ($ORIGIN-only files should be renamed or loaded with an
+// explicit origin).
+func OriginFromFilename(path string) (string, error) {
+	base := filepath.Base(path)
+	for _, suffix := range []string{".db", ".zone"} {
+		if name := strings.TrimSuffix(base, suffix); name != base && name != "" {
+			return name + ".", nil
+		}
+	}
+	return "", fmt.Errorf("zone: cannot derive origin from %q (want <origin>.db or <origin>.zone)", path)
+}

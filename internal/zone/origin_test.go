@@ -1,0 +1,41 @@
+package zone
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOriginFromFilename(t *testing.T) {
+	for _, tc := range []struct {
+		path, want string
+	}{
+		{"example.com.db", "example.com."},
+		{"/srv/zones/example.com.zone", "example.com."},
+		{"sub.example.org.db", "sub.example.org."},
+	} {
+		got, err := OriginFromFilename(tc.path)
+		if err != nil {
+			t.Errorf("OriginFromFilename(%q): %v", tc.path, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("OriginFromFilename(%q) = %q, want %q", tc.path, got, tc.want)
+		}
+	}
+}
+
+// Unrecognized suffixes must fail loudly with the filename, not return
+// "" and let zone.Parse fail later with a line-number error that never
+// mentions which file was misnamed.
+func TestOriginFromFilenameRejectsUnknownSuffix(t *testing.T) {
+	for _, path := range []string{"example.com.txt", "zonefile", "example.com", ".db", ".zone"} {
+		got, err := OriginFromFilename(path)
+		if err == nil {
+			t.Errorf("OriginFromFilename(%q) = %q, want error", path, got)
+			continue
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("OriginFromFilename(%q) error %q does not name the file", path, err)
+		}
+	}
+}

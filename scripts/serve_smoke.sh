@@ -1,0 +1,58 @@
+#!/bin/sh
+# serve-smoke: end-to-end gate for the serving path. Builds dnsd and
+# dnsblast, starts the daemon on an ephemeral port serving the signed
+# smoke zone, drives it with a zipfian UDP+TCP query mix, asserts
+# nonzero qps with zero protocol errors, then SIGTERMs the daemon and
+# asserts a clean graceful drain (exit 0) and a well-formed final
+# metrics snapshot.
+set -eu
+
+GO=${GO:-go}
+DIR=artifacts/serve
+BIN=$DIR/bin
+
+rm -rf "$DIR"
+mkdir -p "$BIN"
+$GO build -o "$BIN" ./cmd/dnsd ./cmd/dnsblast
+
+"$BIN"/dnsd -listen 127.0.0.1:0 -addr-file "$DIR/addr" -sign \
+	-cache-entries 4096 -drain-timeout 10s \
+	-metrics-out "$DIR/metrics.json" -metrics-every 500ms \
+	cmd/dnsd/testdata/example.com.db 2> "$DIR/dnsd.log" &
+DNSD=$!
+
+# The daemon publishes its bound address once it is serving.
+i=0
+while [ ! -s "$DIR/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "serve-smoke: dnsd never published its address" >&2
+		cat "$DIR/dnsd.log" >&2
+		kill "$DNSD" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.1
+done
+ADDR=$(cat "$DIR/addr")
+echo "serve-smoke: dnsd is serving on $ADDR"
+
+# Blast it: zipfian names, mixed types, 10% TCP, 25% DO, 5% NXDOMAIN.
+# Zero tolerance for protocol errors; qps floor is deliberately modest
+# so a loaded CI box does not flake.
+"$BIN"/dnsblast -server "$ADDR" -zone cmd/dnsd/testdata/example.com.db \
+	-duration 2s -concurrency 8 -tcp-frac 0.1 -do-frac 0.25 -nx-frac 0.05 \
+	-min-qps 100 -max-error-rate 0 -json "$DIR/blast.json"
+
+# Graceful drain: SIGTERM must finish in-flight work and exit 0.
+kill -TERM "$DNSD"
+if ! wait "$DNSD"; then
+	echo "serve-smoke: dnsd did not drain cleanly" >&2
+	cat "$DIR/dnsd.log" >&2
+	exit 1
+fi
+grep -q "drained cleanly" "$DIR/dnsd.log"
+
+# The final metrics snapshot must be well-formed and show the load.
+"$BIN"/dnsblast -verify-metrics "$DIR/metrics.json"
+
+echo "serve-smoke: ok (see $DIR/blast.json and $DIR/metrics.json)"
