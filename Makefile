@@ -6,7 +6,7 @@ GO ?= go
 # wholesale untested subsystem does.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all test race cover lint fuzz-smoke bench-smoke obs-smoke shard-smoke serve-smoke build ci
+.PHONY: all test race cover lint fuzz-smoke bench-smoke bench-gate obs-smoke shard-smoke serve-smoke build ci
 
 all: test
 
@@ -53,6 +53,23 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 	mkdir -p artifacts
 	$(GO) run ./cmd/dnssec-scan -scale 500000 -metrics-out artifacts/metrics.json -out queries
+
+# Allocation gate over the hot-path benchmarks. The zero-alloc legs
+# (PackUnpack/pack, PackUnpack/unpack) run 2000 iterations so pool
+# warm-up amortises to zero in the reported average; ScanStream runs a
+# few full streams. cmd/benchgate asserts the allocs/op ceilings and
+# appends this run to artifacts/bench_trajectory.json so zones/s and
+# allocs/op are diffable across commits.
+bench-gate:
+	mkdir -p artifacts
+	$(GO) test -run '^$$' -bench 'BenchmarkScanStream' \
+		-benchmem -benchtime 3x -count 1 . > artifacts/bench_gate.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkPackUnpack' \
+		-benchmem -benchtime 2000x -count 1 . >> artifacts/bench_gate.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkQueryHotPath' \
+		-benchmem -benchtime 2000x -count 1 ./internal/resolver/ >> artifacts/bench_gate.txt
+	$(GO) run ./cmd/benchgate -in artifacts/bench_gate.txt \
+		-trajectory artifacts/bench_trajectory.json -label local
 
 # Sharded-orchestration conformance: a scanctl 4-shard run — with one
 # worker SIGKILLed mid-run and restarted from its checkpoint — must
@@ -104,5 +121,6 @@ ci:
 	$(MAKE) cover
 	$(MAKE) fuzz-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) bench-gate
 	$(MAKE) shard-smoke
 	$(MAKE) serve-smoke

@@ -369,6 +369,38 @@ func BenchmarkWireUnpack(b *testing.B) {
 	}
 }
 
+// BenchmarkPackUnpack measures the steady-state reuse path: AppendPack
+// into a recycled buffer and UnpackFrom into a recycled Message. This is
+// the shape of the scan hot loop, and the bench gate pins both legs at
+// 0 allocs/op.
+func BenchmarkPackUnpack(b *testing.B) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pack", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := m.AppendPack(buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out
+		}
+	})
+	b.Run("unpack", func(b *testing.B) {
+		var into dnswire.Message
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := into.UnpackFrom(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func benchKey(b *testing.B, alg uint8) *dnssec.Key {
 	b.Helper()
 	k, err := dnssec.GenerateKey(alg, dnswire.DNSKEYFlagZone, nil)

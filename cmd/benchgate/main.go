@@ -1,0 +1,180 @@
+// Command benchgate enforces allocation ceilings on the hot-path
+// benchmarks and records the performance trajectory.
+//
+// It parses `go test -bench -benchmem` output (from a file or stdin),
+// asserts the allocs/op ceilings configured below, and appends one
+// entry per run to the trajectory artefact (artifacts/
+// bench_trajectory.json) so zones/s and allocs/op are diffable across
+// commits. Any ceiling violation or missing benchmark is a nonzero
+// exit, which is what wires the gate into `make ci`.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... | benchgate -label dev
+//	benchgate -in artifacts/bench_gate.txt -trajectory artifacts/bench_trajectory.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ceilings are the hard allocs/op limits per benchmark. The pack and
+// unpack legs are pinned at exactly zero — the tentpole invariant of
+// the zero-alloc codec. The composite paths get modest headroom above
+// their measured steady state (QueryHotPath ~12, ScanStream ~160k per
+// 512-zone stream) so noise does not trip the gate but a reintroduced
+// per-message allocation does.
+var ceilings = map[string]float64{
+	"BenchmarkPackUnpack/pack":   0,
+	"BenchmarkPackUnpack/unpack": 0,
+	"BenchmarkQueryHotPath":      20,
+	"BenchmarkScanStream":        250000,
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_op"`
+	BPerOp   float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op"`
+	ZonesSec float64 `json:"zones_s,omitempty"`
+}
+
+// entry is one trajectory record: a labelled, timestamped set of
+// results.
+type entry struct {
+	Label   string            `json:"label"`
+	Time    string            `json:"time"`
+	Results map[string]result `json:"results"`
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark output file ('-' for stdin)")
+	trajectory := flag.String("trajectory", "", "trajectory JSON to append to (omit to only verify)")
+	label := flag.String("label", "ci", "label recorded with the trajectory entry")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		fatal(err)
+	}
+	results := parse(string(data))
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	failed := false
+	for name, ceiling := range ceilings {
+		res, ok := results[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: benchmark missing from input\n", name)
+			failed = true
+			continue
+		}
+		if res.AllocsOp > ceiling {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.0f allocs/op exceeds ceiling %.0f\n",
+				name, res.AllocsOp, ceiling)
+			failed = true
+			continue
+		}
+		fmt.Printf("benchgate: ok %s: %.0f allocs/op (ceiling %.0f)\n", name, res.AllocsOp, ceiling)
+	}
+
+	if *trajectory != "" {
+		if err := appendTrajectory(*trajectory, *label, results); err != nil {
+			fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark results from `go test -bench -benchmem`
+// output. Lines look like:
+//
+//	BenchmarkPackUnpack/pack-8  5000  611 ns/op  0 B/op  0 allocs/op
+//	BenchmarkScanStream-8  3  5.4e7 ns/op  18.0 peak_live  9347 zones/s  1.0e7 B/op  159271 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so ceilings address benchmarks
+// by their stable name.
+func parse(out string) map[string]result {
+	results := make(map[string]result)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := result{Name: name}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BPerOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			case "zones/s":
+				res.ZonesSec = v
+			}
+		}
+		results[name] = res
+	}
+	return results
+}
+
+// appendTrajectory loads the trajectory file (an array of entries,
+// created on first use), appends one entry for this run and writes it
+// back.
+func appendTrajectory(path, label string, results map[string]result) error {
+	var entries []entry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entries = append(entries, entry{
+		Label:   label,
+		Time:    time.Now().UTC().Format(time.RFC3339),
+		Results: results,
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -37,7 +37,10 @@ func (o *OPT) pack(b *builder) {
 
 func (o *OPT) unpack(p *parser, rdlen int) error {
 	end := p.off + rdlen
-	o.Options = nil
+	// Reuse the previous option slice and each slot's Data storage
+	// (captured before append overwrites the slot).
+	old := o.Options
+	opts := old[:0]
 	for p.off < end {
 		code, err := p.u16()
 		if err != nil {
@@ -47,12 +50,18 @@ func (o *OPT) unpack(p *parser, rdlen int) error {
 		if err != nil {
 			return err
 		}
-		data, err := p.take(int(n))
+		var reuse []byte
+		if len(opts) < len(old) {
+			reuse = old[len(opts)].Data
+		}
+		data, err := p.takeInto(reuse, int(n))
 		if err != nil {
+			o.Options = opts
 			return err
 		}
-		o.Options = append(o.Options, EDNSOption{Code: code, Data: data})
+		opts = append(opts, EDNSOption{Code: code, Data: data})
 	}
+	o.Options = opts
 	return nil
 }
 
@@ -70,25 +79,35 @@ type EDNS struct {
 	Options       []EDNSOption
 }
 
-// SetEDNS attaches (or replaces) the OPT record on m.
+// SetEDNS attaches (or replaces) the OPT record on m. When an OPT
+// record is already present its *OPT payload is mutated in place, so a
+// reused query message keeps EDNS attachment allocation-free.
 func (m *Message) SetEDNS(e EDNS) {
 	ttl := uint32(e.ExtendedRcode)<<24 | uint32(e.Version)<<16
 	if e.DO {
 		ttl |= 1 << 15
 	}
-	opt := RR{
+	for i := range m.Additional {
+		rr := &m.Additional[i]
+		if rr.Type() != TypeOPT {
+			continue
+		}
+		rr.Name = "."
+		rr.Class = Class(e.UDPSize)
+		rr.TTL = ttl
+		if o, ok := rr.Data.(*OPT); ok {
+			o.Options = append(o.Options[:0], e.Options...)
+		} else {
+			rr.Data = &OPT{Options: e.Options}
+		}
+		return
+	}
+	m.Additional = append(m.Additional, RR{
 		Name:  ".",
 		Class: Class(e.UDPSize),
 		TTL:   ttl,
 		Data:  &OPT{Options: e.Options},
-	}
-	for i, rr := range m.Additional {
-		if rr.Type() == TypeOPT {
-			m.Additional[i] = opt
-			return
-		}
-	}
-	m.Additional = append(m.Additional, opt)
+	})
 }
 
 // GetEDNS extracts the EDNS state from m's OPT record, if present.

@@ -41,12 +41,20 @@ func (r RR) Equal(o RR) bool {
 
 // RDataWire returns the uncompressed wire encoding of an RDATA payload.
 func RDataWire(d RData) ([]byte, error) {
-	b := &builder{}
-	d.pack(b)
-	if b.err != nil {
-		return nil, b.err
+	return AppendRDataWire(nil, d)
+}
+
+// AppendRDataWire appends the uncompressed wire encoding of an RDATA
+// payload to dst. With a caller-reused dst the encode is allocation-free.
+func AppendRDataWire(dst []byte, d RData) ([]byte, error) {
+	b := newBuilder(dst)
+	d.pack(b) // RData packers pass compress=false, so cmap is unused
+	out, err := b.buf, b.err
+	b.release()
+	if err != nil {
+		return nil, err
 	}
-	return b.buf, nil
+	return out, nil
 }
 
 // Question is a query tuple.
@@ -78,7 +86,19 @@ type Message struct {
 	Answer     []RR
 	Authority  []RR
 	Additional []RR
+
+	// TrailingBytes is the number of octets left in the wire input after
+	// the last record when this message was produced by Unpack — a
+	// malformed-responder signal (well-formed messages end exactly at the
+	// last record). It is ignored by Pack and zero for messages built in
+	// memory. A conformance scanner must not silently normalise trailing
+	// garbage away, so the count is surfaced rather than rejected here;
+	// the resolver counts it per response (resolver.trailing_bytes).
+	TrailingBytes int
 }
+
+// headerLen is the fixed DNS message header size (RFC 1035 §4.1.1).
+const headerLen = 12
 
 // Errors returned by message packing and unpacking.
 var (
@@ -89,23 +109,45 @@ var (
 
 // Pack serialises the message with name compression on owner names.
 func (m *Message) Pack() ([]byte, error) {
-	return m.packLimit(0)
+	return m.AppendPack(nil)
+}
+
+// AppendPack serialises the message with name compression and appends
+// the wire form to dst, returning the extended slice. With a
+// caller-reused dst of sufficient capacity the pack is allocation-free.
+func (m *Message) AppendPack(dst []byte) ([]byte, error) {
+	return m.appendPackLimit(dst, 0)
 }
 
 // PackTruncating serialises the message; if the result exceeds limit
-// octets, answer/authority/additional records are dropped and the TC
-// bit set, mirroring authoritative-server UDP behaviour. limit <= 0
-// means no limit.
+// octets, sections are dropped and the TC bit set, mirroring
+// authoritative-server UDP behaviour. limit <= 0 means no limit.
+//
+// The shrinking is progressive: first the answer/authority/additional
+// records go (the OPT pseudo-record is kept so the client still sees
+// EDNS), then the OPT itself. The floor is the header plus the question
+// section, which cannot be dropped — when even that skeleton exceeds
+// limit (a long qname against a tiny limit), the skeleton is returned
+// as-is with TC set, so the result can exceed limit by at most the
+// question's encoding. Callers enforcing transport limits should treat
+// headerLen+question as the minimum viable datagram.
 func (m *Message) PackTruncating(limit int) ([]byte, error) {
-	return m.packLimit(limit)
+	return m.appendPackLimit(nil, limit)
 }
 
-func (m *Message) packLimit(limit int) ([]byte, error) {
-	out, err := m.packOnce()
+// AppendPackTruncating is PackTruncating appending into dst (see
+// AppendPack for the reuse contract).
+func (m *Message) AppendPackTruncating(dst []byte, limit int) ([]byte, error) {
+	return m.appendPackLimit(dst, limit)
+}
+
+func (m *Message) appendPackLimit(dst []byte, limit int) ([]byte, error) {
+	base := len(dst)
+	out, err := m.appendPackOnce(dst)
 	if err != nil {
 		return nil, err
 	}
-	if limit <= 0 || len(out) <= limit {
+	if limit <= 0 || len(out)-base <= limit {
 		return out, nil
 	}
 	// Too large: emit a truncated response with an empty answer section
@@ -114,7 +156,18 @@ func (m *Message) packLimit(limit int) ([]byte, error) {
 	tm.Answer, tm.Authority = nil, nil
 	tm.Additional = optOnly(m.Additional)
 	tm.Truncated = true
-	return tm.packOnce()
+	out, err = tm.appendPackOnce(out[:base])
+	if err != nil {
+		return nil, err
+	}
+	if len(out)-base <= limit || len(tm.Additional) == 0 {
+		return out, nil
+	}
+	// Still too large: the question plus OPT alone exceed the limit.
+	// Drop the OPT too — TC is already set, and a client that retries
+	// over TCP re-sends its own EDNS state anyway.
+	tm.Additional = nil
+	return tm.appendPackOnce(out[:base])
 }
 
 func optOnly(rrs []RR) []RR {
@@ -126,7 +179,7 @@ func optOnly(rrs []RR) []RR {
 	return nil
 }
 
-func (m *Message) packOnce() ([]byte, error) {
+func (m *Message) appendPackOnce(dst []byte) ([]byte, error) {
 	for _, s := range [][]RR{m.Answer, m.Authority, m.Additional} {
 		if len(s) > 0xFFFF {
 			return nil, ErrTooManyRecords
@@ -135,7 +188,8 @@ func (m *Message) packOnce() ([]byte, error) {
 	if len(m.Question) > 0xFFFF {
 		return nil, ErrTooManyRecords
 	}
-	b := &builder{cmap: make(map[string]int)}
+	b := newBuilder(dst)
+	defer b.release()
 	b.u16(m.ID)
 	var f1 uint8
 	if m.Response {
@@ -222,21 +276,35 @@ func packRR(b *builder, rr RR, rcode Rcode) error {
 	return nil
 }
 
-// Unpack parses a wire-format message.
+// Unpack parses a wire-format message into a fresh Message.
 func Unpack(msg []byte) (*Message, error) {
-	p := &parser{msg: msg}
 	m := &Message{}
+	if err := m.UnpackFrom(msg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnpackFrom parses a wire-format message into m, reusing m's section
+// slices, RData values and their byte-field storage where the shapes
+// match. Steady-state reparsing into the same Message allocates
+// nothing. The previous contents of m are overwritten; callers must not
+// retain references into them. On error m is left partially filled and
+// must not be used.
+func (m *Message) UnpackFrom(msg []byte) error {
+	p := newParser(msg)
+	defer p.release()
 	var err error
 	if m.ID, err = p.u16(); err != nil {
-		return nil, err
+		return err
 	}
 	f1, err := p.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	f2, err := p.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Response = f1&0x80 != 0
 	m.Opcode = Opcode(f1 >> 3 & 0x0F)
@@ -247,94 +315,135 @@ func Unpack(msg []byte) (*Message, error) {
 	m.AuthenticData = f2&0x20 != 0
 	m.CheckingDisabled = f2&0x10 != 0
 	m.Rcode = Rcode(f2 & 0x0F)
+	m.TrailingBytes = 0
 	var counts [4]uint16
 	for i := range counts {
 		if counts[i], err = p.u16(); err != nil {
-			return nil, err
+			return err
 		}
 	}
+	m.Question = m.Question[:0]
 	for i := 0; i < int(counts[0]); i++ {
 		var q Question
 		if q.Name, err = p.name(); err != nil {
-			return nil, err
+			return err
 		}
 		t, err := p.u16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		q.Type = Type(t)
 		c, err := p.u16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		q.Class = Class(c)
 		m.Question = append(m.Question, q)
 	}
 	for si, dst := range []*[]RR{&m.Answer, &m.Authority, &m.Additional} {
+		// Keep the previous elements visible through old so each slot's
+		// RData (and its byte-field storage) can be reused in place:
+		// append overwrites old[i] only after unpackRR has read it.
+		old := *dst
+		s := old[:0]
 		for i := 0; i < int(counts[si+1]); i++ {
-			rr, extRcode, err := unpackRR(p)
+			var reuse RData
+			if i < len(old) {
+				reuse = old[i].Data
+			}
+			rr, extRcode, hasExt, err := unpackRR(p, reuse)
 			if err != nil {
-				return nil, err
+				*dst = s
+				return err
 			}
-			if extRcode != nil {
-				m.Rcode |= Rcode(*extRcode) << 4
+			if hasExt {
+				m.Rcode |= Rcode(extRcode) << 4
 			}
-			*dst = append(*dst, rr)
+			s = append(s, rr)
 		}
+		*dst = s
 	}
-	return m, nil
+	m.TrailingBytes = p.remaining()
+	return nil
 }
 
-func unpackRR(p *parser) (RR, *uint8, error) {
-	var rr RR
-	var err error
+// unpackRR decodes one resource record. reuse, when non-nil and of the
+// record's concrete type, is overwritten in place instead of allocating
+// a fresh RData (the unpack-into fast path). For OPT records the
+// extended-rcode byte is returned with hasExt set (by value, so the hot
+// path never heap-allocates it).
+func unpackRR(p *parser, reuse RData) (rr RR, extRcode uint8, hasExt bool, err error) {
 	if rr.Name, err = p.name(); err != nil {
-		return rr, nil, err
+		return rr, 0, false, err
 	}
 	t16, err := p.u16()
 	if err != nil {
-		return rr, nil, err
+		return rr, 0, false, err
 	}
 	typ := Type(t16)
 	c16, err := p.u16()
 	if err != nil {
-		return rr, nil, err
+		return rr, 0, false, err
 	}
 	rr.Class = Class(c16)
 	if rr.TTL, err = p.u32(); err != nil {
-		return rr, nil, err
+		return rr, 0, false, err
 	}
 	rdlen, err := p.u16()
 	if err != nil {
-		return rr, nil, err
+		return rr, 0, false, err
 	}
 	if p.remaining() < int(rdlen) {
-		return rr, nil, errTruncated
+		return rr, 0, false, errTruncated
 	}
-	data := newRData(typ)
+	data := reuse
+	if data == nil || data.Type() != typ {
+		data = newRData(typ)
+	}
 	start := p.off
 	if err := data.unpack(p, int(rdlen)); err != nil {
-		return rr, nil, err
+		return rr, 0, false, err
 	}
 	if p.off != start+int(rdlen) {
-		return rr, nil, fmt.Errorf("dnswire: %s rdata length mismatch", typ)
+		return rr, 0, false, fmt.Errorf("dnswire: %s rdata length mismatch", typ)
 	}
 	rr.Data = data
-	var ext *uint8
 	if typ == TypeOPT {
-		v := uint8(rr.TTL >> 24)
-		ext = &v
+		return rr, uint8(rr.TTL >> 24), true, nil
 	}
-	return rr, ext, nil
+	return rr, 0, false, nil
 }
 
 // NewQuery builds a standard query for (name, type) with a fresh
 // question section and the RD bit clear (iterative-resolver style).
 func NewQuery(id uint16, name string, t Type) *Message {
-	return &Message{
-		ID:       id,
-		Question: []Question{{Name: CanonicalName(name), Type: t, Class: ClassIN}},
-	}
+	m := &Message{}
+	m.InitQuery(id, name, t)
+	return m
+}
+
+// InitQuery resets m in place to a standard query for (name, type),
+// reusing the question-slice storage. The answer and authority sections
+// are emptied; the additional section is intentionally retained so that
+// a previously attached OPT record can be updated in place by SetEDNS —
+// callers reusing a query message across attempts must either call
+// SetEDNS after InitQuery or clear Additional themselves.
+func (m *Message) InitQuery(id uint16, name string, t Type) {
+	m.ID = id
+	m.Response = false
+	m.Opcode = 0
+	m.Authoritative = false
+	m.Truncated = false
+	m.RecursionDesired = false
+	m.RecursionAvailable = false
+	m.AuthenticData = false
+	m.CheckingDisabled = false
+	m.Rcode = 0
+	m.TrailingBytes = 0
+	m.Question = append(m.Question[:0],
+		Question{Name: CanonicalName(name), Type: t, Class: ClassIN})
+	m.Answer = m.Answer[:0]
+	m.Authority = m.Authority[:0]
 }
 
 // Summary renders a compact one-line description, useful in logs.

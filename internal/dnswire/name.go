@@ -48,7 +48,11 @@ func SplitLabels(name string) []string {
 
 // CountLabels returns the number of labels in name, excluding the root.
 func CountLabels(name string) int {
-	return len(SplitLabels(name))
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return 0
+	}
+	return strings.Count(name, ".") + 1
 }
 
 // Parent returns the name with its leftmost label removed; the parent of
@@ -89,22 +93,32 @@ func Join(prefix, name string) string {
 }
 
 // NameWireLength returns the encoded (uncompressed) length of name in
-// octets, and whether the name is valid.
+// octets, and whether the name is valid. It walks the labels in place
+// (no splitting): this runs once per packed name, so it must not
+// allocate.
 func NameWireLength(name string) (int, error) {
 	name = CanonicalName(name)
 	if name == "." {
 		return 1, nil
 	}
 	n := 1 // terminal root byte
-	for _, l := range SplitLabels(name) {
-		if l == "" {
+	labelLen := 0
+	for i := 0; i < len(name); i++ {
+		if name[i] != '.' {
+			labelLen++
+			continue
+		}
+		if labelLen == 0 {
 			return 0, ErrEmptyLabel
 		}
-		if len(l) > maxLabelLen {
+		if labelLen > maxLabelLen {
 			return 0, ErrLabelTooLong
 		}
-		n += 1 + len(l)
+		n += 1 + labelLen
+		labelLen = 0
 	}
+	// CanonicalName guarantees a trailing dot, so the last label was
+	// flushed by the loop.
 	if n > maxNameWireLen {
 		return 0, ErrNameTooLong
 	}
@@ -116,6 +130,13 @@ func NameWireLength(name string) (int, error) {
 // message, and new suffixes (at offsets representable in 14 bits) are
 // registered. Names are packed in their canonical (lowercase) form.
 func packName(buf []byte, name string, cmap map[string]int) ([]byte, error) {
+	return packNameOffset(buf, 0, name, cmap)
+}
+
+// packNameOffset is packName for a message that starts at buf[base]:
+// compression offsets are registered and emitted relative to base, so a
+// message can be appended to a buffer that already holds other data.
+func packNameOffset(buf []byte, base int, name string, cmap map[string]int) ([]byte, error) {
 	name = CanonicalName(name)
 	if _, err := NameWireLength(name); err != nil {
 		return nil, err
@@ -125,8 +146,8 @@ func packName(buf []byte, name string, cmap map[string]int) ([]byte, error) {
 			if off, ok := cmap[name]; ok {
 				return append(buf, byte(0xC0|off>>8), byte(off)), nil
 			}
-			if len(buf) < 0x3FFF {
-				cmap[name] = len(buf)
+			if len(buf)-base < 0x3FFF {
+				cmap[name] = len(buf) - base
 			}
 		}
 		label := name
@@ -146,12 +167,30 @@ func packName(buf []byte, name string, cmap map[string]int) ([]byte, error) {
 // off. It returns the canonical presentation form and the offset of the
 // first byte after the name in the original (non-pointer) stream.
 func unpackName(msg []byte, off int) (string, int, error) {
-	var b strings.Builder
+	buf, end, err := appendUnpackedName(nil, msg, off)
+	if err != nil {
+		return "", 0, err
+	}
+	if len(buf) == 0 {
+		return ".", end, nil
+	}
+	return string(buf), end, nil
+}
+
+var errReservedLabel = errors.New("dnswire: reserved label type")
+
+// appendUnpackedName decodes a (possibly compressed) name from msg
+// starting at off, appending its canonical presentation bytes to dst
+// (empty output means the root "."). It returns dst and the offset of
+// the first byte after the name in the original (non-pointer) stream.
+// Hot-path callers pass a reused scratch buffer and intern the result.
+func appendUnpackedName(dst []byte, msg []byte, off int) ([]byte, int, error) {
+	start := len(dst)
 	ptrBudget := 32 // defends against pointer loops
 	end := -1       // offset after the name in the outer stream
 	for {
 		if off >= len(msg) {
-			return "", 0, errTruncated
+			return dst, 0, errTruncated
 		}
 		c := int(msg[off])
 		switch {
@@ -159,13 +198,10 @@ func unpackName(msg []byte, off int) (string, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			if b.Len() == 0 {
-				return ".", end, nil
-			}
-			return b.String(), end, nil
+			return dst, end, nil
 		case c&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
-				return "", 0, errTruncated
+				return dst, 0, errTruncated
 			}
 			ptr := (c&0x3F)<<8 | int(msg[off+1])
 			if end < 0 {
@@ -173,29 +209,29 @@ func unpackName(msg []byte, off int) (string, int, error) {
 			}
 			if ptr >= off {
 				// Pointers must point strictly backwards.
-				return "", 0, ErrBadPointer
+				return dst, 0, ErrBadPointer
 			}
 			ptrBudget--
 			if ptrBudget == 0 {
-				return "", 0, ErrBadPointer
+				return dst, 0, ErrBadPointer
 			}
 			off = ptr
 		case c&0xC0 != 0:
-			return "", 0, errors.New("dnswire: reserved label type")
+			return dst, 0, errReservedLabel
 		default:
 			if off+1+c > len(msg) {
-				return "", 0, errTruncated
+				return dst, 0, errTruncated
 			}
-			if b.Len()+c+1 > maxNameWireLen*4 {
-				return "", 0, ErrNameTooLong
+			if len(dst)-start+c+1 > maxNameWireLen*4 {
+				return dst, 0, ErrNameTooLong
 			}
 			for _, ch := range msg[off+1 : off+1+c] {
 				if ch >= 'A' && ch <= 'Z' {
 					ch += 'a' - 'A'
 				}
-				b.WriteByte(ch)
+				dst = append(dst, ch)
 			}
-			b.WriteByte('.')
+			dst = append(dst, '.')
 			off += 1 + c
 		}
 	}

@@ -90,7 +90,7 @@ func (a *A) pack(b *builder) {
 }
 
 func (a *A) unpack(p *parser, rdlen int) error {
-	raw, err := p.take(rdlen)
+	raw, err := p.view(rdlen)
 	if err != nil {
 		return err
 	}
@@ -115,7 +115,7 @@ func (a *AAAA) pack(b *builder) {
 }
 
 func (a *AAAA) unpack(p *parser, rdlen int) error {
-	raw, err := p.take(rdlen)
+	raw, err := p.view(rdlen)
 	if err != nil {
 		return err
 	}
@@ -258,19 +258,19 @@ func (t *TXT) pack(b *builder) {
 			return
 		}
 		b.u8(uint8(len(s)))
-		b.bytes([]byte(s))
+		b.str(s)
 	}
 }
 
 func (t *TXT) unpack(p *parser, rdlen int) error {
 	end := p.off + rdlen
-	t.Strings = nil
+	t.Strings = t.Strings[:0]
 	for p.off < end {
 		n, err := p.u8()
 		if err != nil {
 			return err
 		}
-		s, err := p.take(int(n))
+		s, err := p.view(int(n))
 		if err != nil {
 			return err
 		}
@@ -353,7 +353,7 @@ func (d *DS) unpack(p *parser, rdlen int) error {
 	if d.DigestType, err = p.u8(); err != nil {
 		return err
 	}
-	d.Digest, err = p.take(rdlen - 4)
+	d.Digest, err = p.takeInto(d.Digest, rdlen-4)
 	return err
 }
 
@@ -401,7 +401,7 @@ func (k *DNSKEY) unpack(p *parser, rdlen int) error {
 	if k.Algorithm, err = p.u8(); err != nil {
 		return err
 	}
-	k.PublicKey, err = p.take(rdlen - 4)
+	k.PublicKey, err = p.takeInto(k.PublicKey, rdlen-4)
 	return err
 }
 
@@ -484,7 +484,7 @@ func (r *RRSIG) unpack(p *parser, rdlen int) error {
 	if r.SignerName, err = p.name(); err != nil {
 		return err
 	}
-	r.Signature, err = p.take(end - p.off)
+	r.Signature, err = p.takeInto(r.Signature, end-p.off)
 	return err
 }
 
@@ -515,11 +515,11 @@ func (n *NSEC) unpack(p *parser, rdlen int) error {
 	if n.NextDomain, err = p.name(); err != nil {
 		return err
 	}
-	raw, err := p.take(end - p.off)
+	raw, err := p.view(end - p.off)
 	if err != nil {
 		return err
 	}
-	n.Types, err = unpackTypeBitmap(raw)
+	n.Types, err = unpackTypeBitmapInto(n.Types[:0], raw)
 	return err
 }
 
@@ -571,21 +571,21 @@ func (n *NSEC3) unpack(p *parser, rdlen int) error {
 	if sl, err = p.u8(); err != nil {
 		return err
 	}
-	if n.Salt, err = p.take(int(sl)); err != nil {
+	if n.Salt, err = p.takeInto(n.Salt, int(sl)); err != nil {
 		return err
 	}
 	var hl uint8
 	if hl, err = p.u8(); err != nil {
 		return err
 	}
-	if n.NextHashed, err = p.take(int(hl)); err != nil {
+	if n.NextHashed, err = p.takeInto(n.NextHashed, int(hl)); err != nil {
 		return err
 	}
-	raw, err := p.take(end - p.off)
+	raw, err := p.view(end - p.off)
 	if err != nil {
 		return err
 	}
-	n.Types, err = unpackTypeBitmap(raw)
+	n.Types, err = unpackTypeBitmapInto(n.Types[:0], raw)
 	return err
 }
 
@@ -638,7 +638,7 @@ func (n *NSEC3PARAM) unpack(p *parser, _ int) error {
 	if sl, err = p.u8(); err != nil {
 		return err
 	}
-	n.Salt, err = p.take(int(sl))
+	n.Salt, err = p.takeInto(n.Salt, int(sl))
 	return err
 }
 
@@ -675,11 +675,11 @@ func (c *CSYNC) unpack(p *parser, rdlen int) error {
 	if c.Flags, err = p.u16(); err != nil {
 		return err
 	}
-	raw, err := p.take(end - p.off)
+	raw, err := p.view(end - p.off)
 	if err != nil {
 		return err
 	}
-	c.Types, err = unpackTypeBitmap(raw)
+	c.Types, err = unpackTypeBitmapInto(c.Types[:0], raw)
 	return err
 }
 
@@ -705,7 +705,7 @@ func (g *Generic) pack(b *builder) { b.bytes(g.Octets) }
 
 func (g *Generic) unpack(p *parser, rdlen int) error {
 	var err error
-	g.Octets, err = p.take(rdlen)
+	g.Octets, err = p.takeInto(g.Octets, rdlen)
 	return err
 }
 
@@ -767,8 +767,8 @@ func (c *CAA) pack(b *builder) {
 		return
 	}
 	b.u8(uint8(len(c.Tag)))
-	b.bytes([]byte(c.Tag))
-	b.bytes([]byte(c.Value))
+	b.str(c.Tag)
+	b.str(c.Value)
 }
 
 func (c *CAA) unpack(p *parser, rdlen int) error {
@@ -781,12 +781,12 @@ func (c *CAA) unpack(p *parser, rdlen int) error {
 	if err != nil {
 		return err
 	}
-	tag, err := p.take(int(tl))
+	tag, err := p.view(int(tl))
 	if err != nil {
 		return err
 	}
 	c.Tag = string(tag)
-	val, err := p.take(end - p.off)
+	val, err := p.view(end - p.off)
 	if err != nil {
 		return err
 	}
@@ -829,7 +829,7 @@ func (t *TLSA) unpack(p *parser, rdlen int) error {
 	if t.MatchingType, err = p.u8(); err != nil {
 		return err
 	}
-	t.CertData, err = p.take(rdlen - 3)
+	t.CertData, err = p.takeInto(t.CertData, rdlen-3)
 	return err
 }
 

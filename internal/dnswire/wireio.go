@@ -1,11 +1,47 @@
 package dnswire
 
+import "sync"
+
 // Low-level wire readers and writers shared by message and RDATA codecs.
+//
+// Both the builder and the parser are pooled: the scan hot path packs
+// and unpacks a handful of messages per zone, and allocating fresh
+// scratch (compression map, name-assembly buffer, intern table) per
+// message made the codec the dominant source of garbage in whole-scan
+// profiles. Pooled scratch never escapes into results: the builder's
+// output buffer is caller-owned, and the parser copies every byte it
+// hands out (takeInto) or interns it as an immutable string.
 
 type builder struct {
 	buf  []byte
+	base int            // message start within buf (AppendPack offset)
 	cmap map[string]int // compression map; nil disables compression
 	err  error
+}
+
+var builderPool = sync.Pool{
+	New: func() any {
+		return &builder{cmap: make(map[string]int, 16)}
+	},
+}
+
+// newBuilder returns a pooled builder appending to dst. Compression
+// offsets are taken relative to len(dst), so a message can be packed
+// into the tail of a caller-owned buffer.
+func newBuilder(dst []byte) *builder {
+	b := builderPool.Get().(*builder)
+	b.buf = dst
+	b.base = len(dst)
+	b.err = nil
+	clear(b.cmap)
+	return b
+}
+
+// release returns b to the pool. The output buffer is the caller's and
+// must not be retained by the pool (the caller keeps the packed bytes).
+func (b *builder) release() {
+	b.buf = nil
+	builderPool.Put(b)
 }
 
 func (b *builder) u8(v uint8) { b.buf = append(b.buf, v) }
@@ -16,6 +52,7 @@ func (b *builder) u32(v uint32) {
 	b.buf = append(b.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 func (b *builder) bytes(v []byte) { b.buf = append(b.buf, v...) }
+func (b *builder) str(v string)   { b.buf = append(b.buf, v...) }
 
 // name packs a domain name. Compression is only ever applied to owner
 // names and classic RR targets in messages; RDATA of DNSSEC-era types is
@@ -29,7 +66,7 @@ func (b *builder) name(n string, compress bool) {
 	if !compress {
 		cmap = nil
 	}
-	out, err := packName(b.buf, n, cmap)
+	out, err := packNameOffset(b.buf, b.base, n, cmap)
 	if err != nil {
 		b.err = err
 		return
@@ -37,9 +74,51 @@ func (b *builder) name(n string, compress bool) {
 	b.buf = out
 }
 
+// internCap bounds the per-parser name-intern table. Scan workloads
+// see the same nameserver and apex names over and over; capping the
+// table keeps a pooled parser from accumulating unbounded uniques over
+// a multi-million-zone run.
+const internCap = 4096
+
 type parser struct {
-	msg []byte
-	off int
+	msg     []byte
+	off     int
+	scratch []byte            // name-assembly buffer, reused per name
+	names   map[string]string // interned name strings, reused per parser
+}
+
+var parserPool = sync.Pool{New: func() any { return &parser{} }}
+
+// newParser returns a pooled parser positioned at the start of msg. The
+// parser retains no aliases of msg in anything it returns, so callers
+// may reuse msg storage immediately after parsing.
+func newParser(msg []byte) *parser {
+	p := parserPool.Get().(*parser)
+	p.msg = msg
+	p.off = 0
+	return p
+}
+
+func (p *parser) release() {
+	p.msg = nil
+	parserPool.Put(p)
+}
+
+// intern returns b as a string, reusing a previously-built string for
+// the same bytes when possible. The map lookup on a []byte key compiles
+// without a conversion allocation, so repeated names cost zero garbage.
+func (p *parser) intern(b []byte) string {
+	if s, ok := p.names[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if p.names == nil {
+		p.names = make(map[string]string, 64)
+	}
+	if len(p.names) < internCap {
+		p.names[s] = s
+	}
+	return s
 }
 
 func (p *parser) remaining() int { return len(p.msg) - p.off }
@@ -75,22 +154,50 @@ func (p *parser) u32() (uint32, error) {
 // take returns the next n bytes as a copy (parsers retain no aliases of
 // the input buffer).
 func (p *parser) take(n int) ([]byte, error) {
+	return p.takeInto(nil, n)
+}
+
+// takeInto returns the next n bytes copied into dst, reusing dst's
+// storage when its capacity allows. Unpack-into callers thread the
+// previous field value through so steady-state reparsing allocates
+// nothing.
+func (p *parser) takeInto(dst []byte, n int) ([]byte, error) {
 	if n < 0 || p.off+n > len(p.msg) {
 		return nil, errTruncated
 	}
-	out := make([]byte, n)
-	copy(out, p.msg[p.off:p.off+n])
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+	}
+	copy(dst, p.msg[p.off:p.off+n])
 	p.off += n
-	return out, nil
+	return dst, nil
+}
+
+// view returns the next n bytes of the input without copying. Only for
+// transient decoding (type bitmaps) — the slice aliases p.msg and must
+// not be retained.
+func (p *parser) view(n int) ([]byte, error) {
+	if n < 0 || p.off+n > len(p.msg) {
+		return nil, errTruncated
+	}
+	v := p.msg[p.off : p.off+n]
+	p.off += n
+	return v, nil
 }
 
 func (p *parser) name() (string, error) {
-	n, next, err := unpackName(p.msg, p.off)
+	buf, next, err := appendUnpackedName(p.scratch[:0], p.msg, p.off)
 	if err != nil {
 		return "", err
 	}
+	p.scratch = buf
 	p.off = next
-	return n, nil
+	if len(buf) == 0 {
+		return ".", nil
+	}
+	return p.intern(buf), nil
 }
 
 // packTypeBitmap encodes the RFC 4034 §4.1.2 window-block type bitmap
@@ -129,7 +236,12 @@ func packTypeBitmap(buf []byte, types []Type) []byte {
 // unpackTypeBitmap decodes a window-block type bitmap occupying exactly
 // data.
 func unpackTypeBitmap(data []byte) ([]Type, error) {
-	var types []Type
+	return unpackTypeBitmapInto(nil, data)
+}
+
+// unpackTypeBitmapInto appends the decoded types to dst (pass a
+// truncated previous slice to reuse its storage).
+func unpackTypeBitmapInto(dst []Type, data []byte) ([]Type, error) {
 	for len(data) > 0 {
 		if len(data) < 2 {
 			return nil, errTruncated
@@ -141,11 +253,11 @@ func unpackTypeBitmap(data []byte) ([]Type, error) {
 		for i := 0; i < n; i++ {
 			for bit := 0; bit < 8; bit++ {
 				if data[2+i]&(0x80>>bit) != 0 {
-					types = append(types, Type(window<<8|i*8+bit))
+					dst = append(dst, Type(window<<8|i*8+bit))
 				}
 			}
 		}
 		data = data[2+n:]
 	}
-	return types, nil
+	return dst, nil
 }

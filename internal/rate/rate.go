@@ -5,6 +5,7 @@ package rate
 
 import (
 	"context"
+	"net/netip"
 	"sync"
 	"time"
 )
@@ -122,6 +123,12 @@ func (l *Limiter) Wait(ctx context.Context) error {
 		sleep := l.sleep
 		l.mu.Unlock()
 		d := time.Duration(need * float64(time.Second))
+		// When tokens is just under 1, need is a sub-nanosecond fraction
+		// and the conversion truncates to 0 — without a floor the loop
+		// would re-lock the mutex in a tight spin until the clock ticks.
+		if d < minSleep {
+			d = minSleep
+		}
 		if err := sleep(ctx, d); err != nil {
 			return err
 		}
@@ -129,12 +136,20 @@ func (l *Limiter) Wait(ctx context.Context) error {
 	}
 }
 
+// minSleep is the smallest duration Wait will ask the clock to sleep;
+// see the truncation note in Wait.
+const minSleep = time.Microsecond
+
 // PerKey hands out one limiter per key (e.g. per nameserver address),
-// creating them on demand.
+// creating them on demand. String and netip.Addr keys live in separate
+// maps (two typed maps, rather than one map[any], so address lookups
+// never box the key into an interface allocation); the two key spaces
+// are independent.
 type PerKey struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	make     func() *Limiter
 	limiter  map[string]*Limiter
+	byAddr   map[netip.Addr]*Limiter
 	observer func(time.Duration)
 }
 
@@ -144,6 +159,7 @@ func NewPerKey(ratePerSec float64, burst int) *PerKey {
 	return &PerKey{
 		make:    func() *Limiter { return NewLimiter(ratePerSec, burst) },
 		limiter: make(map[string]*Limiter),
+		byAddr:  make(map[netip.Addr]*Limiter),
 	}
 }
 
@@ -157,26 +173,61 @@ func (p *PerKey) SetObserver(fn func(time.Duration)) {
 	for _, l := range p.limiter {
 		l.SetObserver(fn)
 	}
+	for _, l := range p.byAddr {
+		l.SetObserver(fn)
+	}
 }
 
 // Get returns the limiter for key, creating it if needed.
 func (p *PerKey) Get(key string) *Limiter {
+	p.mu.RLock()
+	l, ok := p.limiter[key]
+	p.mu.RUnlock()
+	if ok {
+		return l
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	l, ok := p.limiter[key]
-	if !ok {
-		l = p.make()
-		if p.observer != nil {
-			l.SetObserver(p.observer)
-		}
-		p.limiter[key] = l
+	if l, ok := p.limiter[key]; ok {
+		return l
+	}
+	l = p.newLocked()
+	p.limiter[key] = l
+	return l
+}
+
+// GetAddr returns the limiter for an address key, creating it if
+// needed. This is the query hot path: steady state takes one RLock and
+// no allocations (no Addr.String round-trip, no interface boxing).
+func (p *PerKey) GetAddr(addr netip.Addr) *Limiter {
+	p.mu.RLock()
+	l, ok := p.byAddr[addr]
+	p.mu.RUnlock()
+	if ok {
+		return l
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if l, ok := p.byAddr[addr]; ok {
+		return l
+	}
+	l = p.newLocked()
+	p.byAddr[addr] = l
+	return l
+}
+
+func (p *PerKey) newLocked() *Limiter {
+	l := p.make()
+	if p.observer != nil {
+		l.SetObserver(p.observer)
 	}
 	return l
 }
 
-// Len returns the number of distinct keys seen.
+// Len returns the number of distinct keys seen (across both key
+// spaces).
 func (p *PerKey) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.limiter)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.limiter) + len(p.byAddr)
 }

@@ -2,6 +2,7 @@ package rate
 
 import (
 	"context"
+	"net/netip"
 	"testing"
 	"time"
 )
@@ -115,6 +116,108 @@ func TestPerKeyIsolation(t *testing.T) {
 	}
 	if p.Len() != 2 {
 		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+// recordingClock is a fakeClock that records every duration Wait asks
+// it to sleep, advancing the simulated time by that amount.
+type recordingClock struct {
+	t      time.Time
+	sleeps []time.Duration
+}
+
+func (f *recordingClock) now() time.Time { return f.t }
+func (f *recordingClock) sleep(_ context.Context, d time.Duration) error {
+	f.sleeps = append(f.sleeps, d)
+	// Advance at least 1 ns even for a zero-duration sleep so a buggy
+	// Wait spins to completion (and fails the assertion) instead of
+	// hanging the test in an infinite zero-progress loop.
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	f.t = f.t.Add(d)
+	return nil
+}
+
+// TestWaitNeverSleepsZero pins the busy-spin fix: with tokens just
+// under 1, need = (1-tokens)/rate is a sub-nanosecond fraction of a
+// second and time.Duration(need*1e9) truncates to 0 ns. Pre-fix, Wait
+// passed that 0 to the sleeper — under the real clock this re-locked
+// the mutex in a tight spin until the wall clock ticked. The fixed Wait
+// clamps every sleep to at least minSleep.
+func TestWaitNeverSleepsZero(t *testing.T) {
+	fc := &recordingClock{t: time.Unix(0, 0)}
+	l := NewLimiter(3, 1)
+	l.SetClock(fc.now, fc.sleep)
+	ctx := context.Background()
+	if err := l.Wait(ctx); err != nil { // consume the burst token
+		t.Fatal(err)
+	}
+	// Refill 333333333 ns at 3 tokens/s: tokens = 0.999999999, so the
+	// remaining need is ~3.3e-10 s, which truncates to 0 ns.
+	fc.t = fc.t.Add(333333333 * time.Nanosecond)
+	if err := l.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.sleeps) == 0 {
+		t.Fatal("second Wait acquired without sleeping; fixture broken")
+	}
+	for i, d := range fc.sleeps {
+		if d <= 0 {
+			t.Fatalf("sleep %d was %v; Wait busy-spins under the real clock", i, d)
+		}
+	}
+}
+
+// TestPerKeyAddrIsolation covers the addr-keyed fast path: distinct
+// addresses get distinct limiters, lookups are stable, and the addr and
+// string key spaces are independent.
+func TestPerKeyAddrIsolation(t *testing.T) {
+	p := NewPerKey(10, 1)
+	a1 := netip.MustParseAddr("192.0.2.1")
+	a2 := netip.MustParseAddr("192.0.2.2")
+	la, lb := p.GetAddr(a1), p.GetAddr(a2)
+	if la == lb {
+		t.Fatal("distinct addrs share a limiter")
+	}
+	if p.GetAddr(a1) != la {
+		t.Fatal("same addr returned a different limiter")
+	}
+	// String and addr key spaces are independent maps.
+	if p.Get(a1.String()) == la {
+		t.Fatal("string key aliased the addr key space")
+	}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d, want 3", p.Len())
+	}
+	if !la.Allow() {
+		t.Fatal("fresh limiter denied")
+	}
+	if la.Allow() {
+		t.Fatal("burst-1 limiter allowed twice")
+	}
+	if !lb.Allow() {
+		t.Fatal("second addr's limiter affected by first")
+	}
+}
+
+// TestPerKeyObserverCoversAddrLimiters ensures SetObserver reaches
+// limiters in both key spaces, created before or after installation.
+func TestPerKeyObserverCoversAddrLimiters(t *testing.T) {
+	p := NewPerKey(1000, 1)
+	before := p.GetAddr(netip.MustParseAddr("2001:db8::1"))
+	var observed int
+	p.SetObserver(func(time.Duration) { observed++ })
+	after := p.GetAddr(netip.MustParseAddr("2001:db8::2"))
+	ctx := context.Background()
+	for _, l := range []*Limiter{before, after} {
+		fc := &fakeClock{t: time.Unix(0, 0)}
+		l.SetClock(fc.now, fc.sleep)
+		l.Wait(ctx) // burst token, unobserved
+		l.Wait(ctx) // blocked wait, observed
+	}
+	if observed != 2 {
+		t.Errorf("observed %d blocked waits, want 2", observed)
 	}
 }
 

@@ -1,0 +1,43 @@
+//go:build !race
+
+// Allocation-regression guard for the resolver single-query path.
+// Excluded under the race detector, whose instrumentation inflates
+// allocation counts.
+package resolver
+
+import (
+	"context"
+	"testing"
+
+	"dnssecboot/internal/dnswire"
+)
+
+// TestExchangeAllocBudget pins the per-query allocation budget of a
+// full resolver exchange over the in-memory network. Steady state
+// measures ~12 allocs/op (the returned response message and the
+// handler's answer construction; query build, rate limiting, and both
+// codec directions are allocation-free). The ceiling leaves modest
+// headroom — a regression that reintroduces per-query scratch (query
+// messages, compression maps, read buffers) costs far more than 8
+// allocations.
+func TestExchangeAllocBudget(t *testing.T) {
+	r, server := benchExchangeSetup()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ { // warm pools and caches
+		if _, err := r.Exchange(ctx, server, "www.example.com.", dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		resp, err := r.Exchange(ctx, server, "www.example.com.", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Answer) != 1 {
+			t.Fatalf("answers = %d", len(resp.Answer))
+		}
+	})
+	if avg > 20 {
+		t.Errorf("resolver exchange allocates %.1f/op, budget 20", avg)
+	}
+}

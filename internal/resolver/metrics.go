@@ -19,6 +19,7 @@ const (
 	MetricCoalesced    = "resolver_coalesced_total"
 	MetricQuerySeconds = "resolver_query_seconds"
 	MetricRateWait     = "resolver_rate_wait_seconds"
+	MetricTrailing     = "resolver_trailing_bytes_total"
 )
 
 // Metrics holds the resolver's instruments. Install one built against a
@@ -33,6 +34,10 @@ type Metrics struct {
 	CacheHits   *obs.Counter
 	CacheMisses *obs.Counter
 	Coalesced   *obs.Counter
+	// Trailing accumulates octets of trailing garbage observed after
+	// the last record of responses (dnswire.Message.TrailingBytes) — a
+	// malformed-responder signal the classifier can consult.
+	Trailing *obs.Counter
 	// QuerySeconds observes wire-exchange latency per attempt;
 	// RateWait observes time blocked in the per-server rate limiter.
 	QuerySeconds *obs.Histogram
@@ -49,6 +54,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		CacheHits:    reg.Counter(MetricCacheHits),
 		CacheMisses:  reg.Counter(MetricCacheMisses),
 		Coalesced:    reg.Counter(MetricCoalesced),
+		Trailing:     reg.Counter(MetricTrailing),
 		QuerySeconds: reg.Histogram(MetricQuerySeconds, obs.DefLatencyBuckets),
 		RateWait:     reg.Histogram(MetricRateWait, obs.DefLatencyBuckets),
 	}

@@ -98,6 +98,10 @@ func (r *Resolver) CacheMisses() int64 { return r.metrics().CacheMisses.Value() 
 // chain's in-flight execution instead of issuing their own queries.
 func (r *Resolver) Coalesced() int64 { return r.metrics().Coalesced.Value() }
 
+// TrailingBytes returns the total octets of trailing garbage observed
+// after the last record of responses received so far.
+func (r *Resolver) TrailingBytes() int64 { return r.metrics().Trailing.Value() }
+
 // ServerTripped reports whether the health tracker currently
 // deprioritises the address (circuit breaker open).
 func (r *Resolver) ServerTripped(server netip.AddrPort) bool { return r.health.tripped(server) }

@@ -298,16 +298,25 @@ func (r *Resolver) Exchange(ctx context.Context, server netip.AddrPort, name str
 	return nil, errors.Join(errs...)
 }
 
+// queryPool recycles query messages across attempts. Exchangers do not
+// retain the query beyond the call (MemNetwork parses its own copy of
+// the wire form; transport.Client only packs it), so a pooled message —
+// including its question slice and in-place-updated OPT record — is
+// safe to reuse and keeps the per-attempt query build allocation-free.
+var queryPool = sync.Pool{New: func() any { return &dnswire.Message{} }}
+
 // exchangeOnce performs a single attempt: rate limit, fresh query ID,
 // counting, latency observation, optional per-attempt timeout.
 func (r *Resolver) exchangeOnce(ctx context.Context, server netip.AddrPort, name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	m := r.metrics()
 	if r.Limits != nil {
-		if err := r.Limits.Get(server.Addr().String()).Wait(ctx); err != nil {
+		if err := r.Limits.GetAddr(server.Addr()).Wait(ctx); err != nil {
 			return nil, err
 		}
 	}
-	q := dnswire.NewQuery(nextID(), name, qtype)
+	q := queryPool.Get().(*dnswire.Message)
+	defer queryPool.Put(q)
+	q.InitQuery(nextID(), name, qtype)
 	q.SetEDNS(dnswire.EDNS{UDPSize: dnswire.MaxUDPPayload, DO: true})
 	m.Queries.Inc()
 	if st := statsFrom(ctx); st != nil {
@@ -321,6 +330,9 @@ func (r *Resolver) exchangeOnce(ctx context.Context, server netip.AddrPort, name
 	start := time.Now()
 	resp, err := r.Net.Exchange(ctx, server, q)
 	m.QuerySeconds.ObserveSince(start)
+	if resp != nil && resp.TrailingBytes > 0 {
+		m.Trailing.Add(int64(resp.TrailingBytes))
+	}
 	if err != nil && ctx.Err() != nil && errors.Is(err, context.DeadlineExceeded) {
 		// A blown per-attempt budget is a timeout like any other.
 		err = fmt.Errorf("%w: %v", transport.ErrTimeout, err)

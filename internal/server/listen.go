@@ -254,22 +254,34 @@ func (l *Listener) readUDP() {
 	}
 }
 
+// udpScratch is a worker's reusable parse/pack state: queries parse
+// into the same Message and responses pack into the same buffer, so a
+// steady-state worker allocates only what the handler itself builds.
+// Handlers must not retain the query past the call (the cache keys copy
+// what they store; responses aliasing the question section are packed
+// to wire here before the scratch is reused).
+type udpScratch struct {
+	q    dnswire.Message
+	resp []byte
+}
+
 func (l *Listener) udpWorker() {
 	defer l.wg.Done()
+	var s udpScratch
 	for pkt := range l.queue {
-		l.handleUDP(pkt)
+		l.handleUDP(pkt, &s)
 	}
 }
 
-func (l *Listener) handleUDP(pkt udpPacket) {
+func (l *Listener) handleUDP(pkt udpPacket, s *udpScratch) {
 	defer l.bufs.Put(pkt.buf)
 	start := time.Now()
 	l.inflight.Add(1)
 	defer l.inflight.Add(-1)
-	q, err := dnswire.Unpack(pkt.buf[:pkt.n])
-	if err != nil {
+	if err := s.q.UnpackFrom(pkt.buf[:pkt.n]); err != nil {
 		return
 	}
+	q := &s.q
 	resp, err := l.handler.HandleDNS(context.Background(), l.local, q)
 	if err != nil || resp == nil {
 		return
@@ -278,10 +290,11 @@ func (l *Listener) handleUDP(pkt udpPacket) {
 	if e, ok := q.GetEDNS(); ok {
 		limit = int(e.UDPSize)
 	}
-	wire, err := resp.PackTruncating(limit)
+	wire, err := resp.AppendPackTruncating(s.resp[:0], limit)
 	if err != nil {
 		return
 	}
+	s.resp = wire
 	_, _ = l.pc.WriteTo(wire, pkt.raddr)
 	l.handleSec.ObserveSince(start)
 }
@@ -330,7 +343,8 @@ func (l *Listener) serveConn(conn net.Conn) {
 		conn.Close()
 		l.wg.Done()
 	}()
-	var buf []byte
+	var buf, outBuf []byte
+	var qm dnswire.Message // connection-local parse target, reused per message
 	for {
 		if !l.armIdle(conn) {
 			return
@@ -342,11 +356,11 @@ func (l *Listener) serveConn(conn net.Conn) {
 		buf = wire[:cap(wire)]
 		start := time.Now()
 		l.inflight.Add(1)
-		q, err := dnswire.Unpack(wire)
-		if err != nil {
+		if err := qm.UnpackFrom(wire); err != nil {
 			l.inflight.Add(-1)
 			return
 		}
+		q := &qm
 		l.tcpQueries.Inc()
 		if len(q.Question) == 1 && q.Question[0].Type == dnswire.TypeAXFR {
 			err := l.serveAXFR(conn, q)
@@ -362,11 +376,12 @@ func (l *Listener) serveConn(conn net.Conn) {
 			l.inflight.Add(-1)
 			return
 		}
-		out, err := resp.Pack()
+		out, err := resp.AppendPack(outBuf[:0])
 		if err != nil {
 			l.inflight.Add(-1)
 			return
 		}
+		outBuf = out
 		err = transport.WriteTCPMessage(conn, out)
 		l.inflight.Add(-1)
 		if err != nil {

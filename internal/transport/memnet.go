@@ -105,6 +105,21 @@ func (n *MemNetwork) dropped() bool {
 	return n.rng.Float64() < n.LossRate
 }
 
+// memScratch is the per-exchange reusable state: the packed query and
+// response wire buffers and the server-side parsed query message. All
+// of it stays inside one Exchange call — the parsed query is handed to
+// the handler (handlers do not retain it, and any response aliasing of
+// its question section is packed to wire before the scratch is pooled
+// again), and the returned response is a fresh Unpack that copies every
+// byte it keeps.
+type memScratch struct {
+	wire     []byte
+	respWire []byte
+	parsed   dnswire.Message
+}
+
+var memScratchPool = sync.Pool{New: func() any { return new(memScratch) }}
+
 // Exchange implements Exchanger. The query is packed, routed, handled
 // and the response packed with the client's advertised UDP size; a
 // truncated response is transparently retried without the size limit,
@@ -125,17 +140,20 @@ func (n *MemNetwork) Exchange(ctx context.Context, server netip.AddrPort, query 
 		return nil, err
 	}
 
-	wire, err := query.Pack()
+	s := memScratchPool.Get().(*memScratch)
+	defer memScratchPool.Put(s)
+	wire, err := query.AppendPack(s.wire[:0])
 	if err != nil {
 		return nil, err
 	}
+	s.wire = wire
 	n.queries.Add(1)
 	n.bytesOut.Add(int64(len(wire)))
 
-	parsed, err := dnswire.Unpack(wire)
-	if err != nil {
+	if err := s.parsed.UnpackFrom(wire); err != nil {
 		return nil, err
 	}
+	parsed := &s.parsed
 	var resp *dnswire.Message
 	if plan.servFail {
 		resp = &dnswire.Message{ID: parsed.ID, Response: true, Rcode: dnswire.RcodeServFail, Question: parsed.Question}
@@ -156,10 +174,11 @@ func (n *MemNetwork) Exchange(ctx context.Context, server netip.AddrPort, query 
 	if plan.truncate {
 		limit = 1 // every response exceeds this → forced TC + TCP retry
 	}
-	respWire, err := resp.PackTruncating(limit)
+	respWire, err := resp.AppendPackTruncating(s.respWire[:0], limit)
 	if err != nil {
 		return nil, err
 	}
+	s.respWire = respWire
 	out, err := dnswire.Unpack(respWire)
 	if err != nil {
 		return nil, err
@@ -174,10 +193,11 @@ func (n *MemNetwork) Exchange(ctx context.Context, server netip.AddrPort, query 
 		}
 		n.queries.Add(1)
 		n.bytesOut.Add(int64(len(wire)))
-		respWire, err = resp.Pack()
+		respWire, err = resp.AppendPack(s.respWire[:0])
 		if err != nil {
 			return nil, err
 		}
+		s.respWire = respWire
 		out, err = dnswire.Unpack(respWire)
 		if err != nil {
 			return nil, err

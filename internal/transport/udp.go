@@ -10,10 +10,30 @@ import (
 	"net"
 	"net/netip"
 	"os"
+	"sync"
 	"time"
 
 	"dnssecboot/internal/dnswire"
 )
+
+// udpReadBufs pools the 64 KiB datagram read buffers (the idiom the
+// server's UDP workers use with per-worker scratch). dnswire.Unpack
+// copies every byte it keeps, so a pooled buffer can be returned as
+// soon as the exchange ends without aliasing the parsed response.
+var udpReadBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 65535)
+		return &b
+	},
+}
+
+// queryWireBufs pools the packed-query scratch used by Exchange.
+var queryWireBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
 
 // Client is an Exchanger speaking real UDP with automatic TCP fallback
 // on truncation (RFC 7766). It verifies response IDs and re-sends on
@@ -43,10 +63,13 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, query *dns
 		}
 		query.ID = binary.BigEndian.Uint16(b[:])
 	}
-	wire, err := query.Pack()
+	wp := queryWireBufs.Get().(*[]byte)
+	defer queryWireBufs.Put(wp)
+	wire, err := query.AppendPack((*wp)[:0])
 	if err != nil {
 		return nil, err
 	}
+	*wp = wire[:0] // keep grown storage pooled
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		resp, err := c.exchangeUDP(ctx, server, query.ID, wire)
@@ -84,7 +107,9 @@ func (c *Client) exchangeUDP(ctx context.Context, server netip.AddrPort, id uint
 	if _, err := conn.Write(wire); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 65535)
+	bp := udpReadBufs.Get().(*[]byte)
+	defer udpReadBufs.Put(bp)
+	buf := *bp
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -195,6 +196,42 @@ func TestClientUnreachable(t *testing.T) {
 	addr := netip.MustParseAddrPort("127.0.0.1:1")
 	if _, err := c.Exchange(context.Background(), addr, q); err == nil {
 		t.Fatal("exchange with dead port succeeded")
+	}
+}
+
+// TestExchangeUDPAllocBudget pins the pooled read-buffer fix: the UDP
+// read path used to allocate a fresh 65535-byte response buffer per
+// datagram, so each exchange cost at least 64 KiB of garbage before any
+// parsing happened. With the buffer pooled, a whole exchange (dial,
+// send, receive, parse) must stay far below that floor. The threshold
+// is deliberately loose — the dial path legitimately allocates a few
+// KiB — but a reintroduced per-datagram buffer trips it immediately.
+func TestExchangeUDPAllocBudget(t *testing.T) {
+	addr := udpEcho(t, func(q *dnswire.Message) *dnswire.Message {
+		return &dnswire.Message{ID: q.ID, Response: true, Question: q.Question}
+	})
+	c := &Client{Timeout: 2 * time.Second}
+	ctx := context.Background()
+	q := dnswire.NewQuery(0, "example.com.", dnswire.TypeA)
+	// Warm the pools and the connection path.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Exchange(ctx, addr, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 50
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		if _, err := c.Exchange(ctx, addr, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	perExchange := (after.TotalAlloc - before.TotalAlloc) / rounds
+	if perExchange > 48<<10 {
+		t.Errorf("UDP exchange allocates %d B on average; the per-datagram read buffer is back", perExchange)
 	}
 }
 
