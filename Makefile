@@ -6,7 +6,7 @@ GO ?= go
 # wholesale untested subsystem does.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all test race cover lint fuzz-smoke bench-smoke bench-gate obs-smoke shard-smoke serve-smoke build ci
+.PHONY: all test race cover lint fuzz-smoke bench-smoke bench-gate obs-smoke shard-smoke serve-smoke ingest-smoke build ci
 
 all: test
 
@@ -38,6 +38,10 @@ cover:
 		'/^total:/ { cov = $$3; gsub("%", "", cov); \
 		  printf "total coverage %s%% (floor %s%%)\n", cov, floor; \
 		  if (cov + 0 < floor + 0) { print "coverage below floor"; exit 1 } }'
+	@$(GO) test -cover ./internal/zone/ ./internal/ingest/ | awk -v floor=$(COVER_FLOOR) \
+		'$$1 == "ok" { cov = $$5; gsub("%", "", cov); \
+		  printf "%s coverage %s%% (floor %s%%)\n", $$2, cov, floor; \
+		  if (cov + 0 < floor + 0) { print "per-package coverage below floor"; exit 1 } }'
 
 # 30 seconds of coverage-guided fuzzing per target; the checked-in
 # corpora under testdata/fuzz/ replay as ordinary tests in `make test`.
@@ -45,6 +49,7 @@ fuzz-smoke:
 	$(GO) test ./internal/dnswire/ -fuzz FuzzUnpack -fuzztime 30s
 	$(GO) test ./internal/zone/ -fuzz FuzzParseZone -fuzztime 30s
 	$(GO) test ./internal/scan/ -run '^$$' -fuzz FuzzObservationRoundTrip -fuzztime 30s
+	$(GO) test ./internal/ingest/ -run '^$$' -fuzz FuzzIngest -fuzztime 30s
 
 # One iteration of every benchmark — checks they still run, not their
 # numbers — plus a metrics snapshot from a small instrumented scan, kept
@@ -102,6 +107,22 @@ shard-smoke:
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
+# Real-zone ingestion gate: the golden gzipped uk. dump must reduce to
+# the checked-in target list byte-for-byte through cmd/zonestat, and a
+# dnssec-scan -zonefile scan over the same dump must reproduce the
+# checked-in headline — the full dump→targets→scan→report chain.
+ingest-smoke:
+	rm -rf artifacts/ingest
+	mkdir -p artifacts/ingest/bin
+	$(GO) build -o artifacts/ingest/bin/ ./cmd/dnssec-scan ./cmd/zonestat
+	artifacts/ingest/bin/zonestat -targets-out artifacts/ingest/targets.txt \
+		internal/ingest/testdata/golden/uk_dump.zone.gz > artifacts/ingest/stats.json
+	cmp internal/ingest/testdata/golden/targets.txt artifacts/ingest/targets.txt
+	artifacts/ingest/bin/dnssec-scan -zonefile internal/ingest/testdata/golden/uk_dump.zone.gz \
+		-seed 1 -scale 500000 -stateless -out headline > artifacts/ingest/headline.txt
+	cmp internal/ingest/testdata/golden/headline.txt artifacts/ingest/headline.txt
+	@echo "ingest-smoke: golden dump reduction and -zonefile scan match fixtures"
+
 # Observability round-trip: a traced scan's -trace-out stream must parse
 # back through `reanalyze -trace` (every line valid, zone+stage present).
 obs-smoke:
@@ -120,6 +141,7 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) cover
 	$(MAKE) fuzz-smoke
+	$(MAKE) ingest-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) bench-gate
 	$(MAKE) shard-smoke

@@ -24,6 +24,14 @@
 // is how cmd/scanctl fans one scan out across worker processes; the
 // {shard} placeholder in -dump/-checkpoint and friends expands to
 // "i-of-N" so one template names per-shard files.
+//
+// With -zonefile the target list comes from a real zone dump (CZDS
+// download / AXFR capture, plain or gzipped) reduced to registrable
+// delegated domains by internal/ingest, instead of from the synthetic
+// generator; -shard then partitions the ingested list. The -seed/-scale
+// world still provides the simulated network the targets are resolved
+// against (an ingested name that exists in the world classifies
+// normally; unknown names observe NXDOMAIN).
 package main
 
 import (
@@ -47,6 +55,7 @@ import (
 	"dnssecboot/internal/classify"
 	"dnssecboot/internal/core"
 	"dnssecboot/internal/ecosystem"
+	"dnssecboot/internal/ingest"
 	"dnssecboot/internal/obs"
 	"dnssecboot/internal/report"
 	"dnssecboot/internal/scan"
@@ -73,6 +82,8 @@ type runConfig struct {
 	Stateless    bool    `json:"stateless,omitempty"`
 	CacheNegTTL  string  `json:"cache_neg_ttl,omitempty"`
 	Dump         bool    `json:"dump,omitempty"`
+	ZoneFile     string  `json:"zonefile,omitempty"`
+	ZoneOrigin   string  `json:"zonefile_origin,omitempty"`
 }
 
 func fatal(prefix string, err error) {
@@ -108,8 +119,16 @@ func main() {
 		cpEvery      = flag.Int("checkpoint-every", 256, "zones between checkpoints (with -checkpoint)")
 		resume       = flag.String("resume", "", "resume an interrupted scan from this checkpoint file")
 		shardSpec    = flag.String("shard", "", "scan only the i-th of N contiguous zone shards, as \"i/N\" (0-based); partitions are deterministic in the zone index")
+		zonefile     = flag.String("zonefile", "", "ingest scan targets from this zone dump (master-file/AXFR dump, plain or gzip) instead of the generator's target list; -seed/-scale still shape the simulated network the targets are scanned against")
+		zoneOrigin   = flag.String("zonefile-origin", "", "apex of the -zonefile dump (default: autodetect from $ORIGIN or the first SOA)")
+		zoneWorkers  = flag.Int("zonefile-workers", 0, "parallel -zonefile record parsers (0 = auto)")
+		zoneStrict   = flag.Bool("zonefile-strict", false, "abort -zonefile ingestion on the first malformed record instead of counting and skipping it")
 	)
 	flag.Parse()
+	if *zonefile != "" && *year != 0 {
+		fmt.Fprintln(os.Stderr, "-zonefile and -year are mutually exclusive: the target list comes from the dump, not the synthetic population")
+		os.Exit(2)
+	}
 	shardIdx, shardN, err := shard.Parse(*shardSpec)
 	if err != nil {
 		fatal("shard", err)
@@ -168,6 +187,25 @@ func main() {
 		fatal("generating world", err)
 	}
 	targets := world.Targets
+	if *zonefile != "" {
+		ingStart := time.Now()
+		res, err := ingest.File(context.Background(), *zonefile, ingest.Config{
+			Origin:   *zoneOrigin,
+			Workers:  *zoneWorkers,
+			Strict:   *zoneStrict,
+			Registry: registry,
+		})
+		if err != nil {
+			fatal("zonefile", err)
+		}
+		targets = res.Targets
+		st := res.Stats
+		fmt.Fprintf(os.Stderr, "ingested %s: %d records -> %d targets (origin %s, %d skipped) in %v\n",
+			*zonefile, st.Records, st.Targets, st.Origin, st.Records-st.Targets, time.Since(ingStart).Round(time.Millisecond))
+		for _, e := range st.FirstErrors {
+			fmt.Fprintf(os.Stderr, "zonefile: skipped %s\n", e)
+		}
+	}
 	if *maxZones > 0 && len(targets) > *maxZones {
 		targets = targets[:*maxZones]
 	}
@@ -196,6 +234,8 @@ func main() {
 		Stateless:    *stateless,
 		CacheNegTTL:  cacheNegTTL.String(),
 		Dump:         *dump != "",
+		ZoneFile:     *zonefile,
+		ZoneOrigin:   *zoneOrigin,
 	})
 	if err != nil {
 		fatal("config", err)
@@ -310,6 +350,7 @@ func main() {
 		Options: core.Options{
 			Seed:                  *seed,
 			World:                 world,
+			Targets:               targets,
 			Concurrency:           *concurrency,
 			SignalOnlyCandidates:  *shortCircuit,
 			DisableSignalProbes:   *noSignals,

@@ -48,6 +48,10 @@ type Options struct {
 	MaxZones int
 	// World reuses an existing ecosystem instead of generating one.
 	World *ecosystem.Ecosystem
+	// Targets overrides the scan list (default: World.Targets). This is
+	// the real-zone ingestion path: names reduced from a TLD dump by
+	// internal/ingest are scanned against the configured network.
+	Targets []string
 
 	// LossRate injects uniform packet loss into the simulated network
 	// (every address without a more specific fault profile), driven
@@ -178,7 +182,10 @@ func Run(ctx context.Context, opts Options) (*Study, error) {
 			return nil, fmt.Errorf("core: generating world: %w", err)
 		}
 	}
-	targets := world.Targets
+	targets := opts.Targets
+	if targets == nil {
+		targets = world.Targets
+	}
 	if opts.MaxZones > 0 && len(targets) > opts.MaxZones {
 		targets = targets[:opts.MaxZones]
 	}

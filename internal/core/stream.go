@@ -84,7 +84,10 @@ func RunStream(ctx context.Context, opts StreamOptions) (*StreamStudy, error) {
 			return nil, fmt.Errorf("core: generating world: %w", err)
 		}
 	}
-	targets := world.Targets
+	targets := opts.Targets
+	if targets == nil {
+		targets = world.Targets
+	}
 	if opts.MaxZones > 0 && len(targets) > opts.MaxZones {
 		targets = targets[:opts.MaxZones]
 	}

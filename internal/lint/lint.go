@@ -85,6 +85,9 @@ func DefaultConfig(module string) Config {
 			p("internal/report"):    nil,
 			p("internal/dnssec"):    nil,
 			p("internal/zone"):      nil,
+			// ingest's reduction must be a pure function of the dump
+			// bytes: stats and targets feed golden fixtures.
+			p("internal/ingest"): nil,
 			// scan's export paths must serialise identically across
 			// runs; the scanner itself is allowed wall-clock state.
 			p("internal/scan"): {"export.go", "observation.go", "checkpoint.go"},
@@ -92,6 +95,7 @@ func DefaultConfig(module string) Config {
 		HotPath: map[string]bool{
 			p("internal/resolver"): true,
 			p("internal/scan"):     true,
+			p("internal/ingest"):   true,
 		},
 	}
 }

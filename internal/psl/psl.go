@@ -79,13 +79,28 @@ func Default() *List {
 	return l
 }
 
+// hasEmptyLabel reports whether a split name contains an empty label —
+// the residue of doubled or leading dots ("co..uk.", ".co.uk.",
+// "co.uk.."). Real-world zone dumps contain such garbage; matching it
+// against the rule maps would silently misalign label arithmetic and,
+// pre-fix, could report the root "." as a registrable domain.
+func hasEmptyLabel(labels []string) bool {
+	for _, l := range labels {
+		if l == "" {
+			return true
+		}
+	}
+	return false
+}
+
 // PublicSuffix returns the longest matching public suffix of name
 // under the PSL algorithm. If no rule matches, the rightmost label is
-// the suffix (the implicit "*" rule).
+// the suffix (the implicit "*" rule). Malformed names (empty labels
+// from doubled or leading dots) have no suffix: the root is returned.
 func (l *List) PublicSuffix(name string) string {
 	name = dnswire.CanonicalName(name)
 	labels := dnswire.SplitLabels(name)
-	if len(labels) == 0 {
+	if len(labels) == 0 || hasEmptyLabel(labels) {
 		return "."
 	}
 	best := ""
@@ -120,15 +135,19 @@ func (l *List) PublicSuffix(name string) string {
 
 // RegistrableDomain returns the registrable domain of name: one label
 // below its public suffix. ok is false if name is itself a public
-// suffix (or shorter).
+// suffix (or shorter), in any of its dotted, undotted or uppercase
+// spellings, and for malformed names containing empty labels.
 func (l *List) RegistrableDomain(name string) (string, bool) {
 	name = dnswire.CanonicalName(name)
+	labels := dnswire.SplitLabels(name)
+	if len(labels) == 0 || hasEmptyLabel(labels) {
+		return "", false
+	}
 	suffix := l.PublicSuffix(name)
 	if name == suffix {
 		return "", false
 	}
 	sufLabels := dnswire.CountLabels(suffix)
-	labels := dnswire.SplitLabels(name)
 	if len(labels) <= sufLabels {
 		return "", false
 	}

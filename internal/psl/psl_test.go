@@ -55,6 +55,53 @@ func TestIsRegistrable(t *testing.T) {
 	}
 }
 
+// A name equal to a public suffix must never be registrable, whatever
+// its spelling: dotted, undotted, uppercase, or any mix. The empty-label
+// rows are the regression cases for the pre-fix bug where doubled or
+// leading dots desynchronised the label arithmetic — "co.uk.." came
+// back as registrable domain "." (the root) and ".co.uk" as ".co.uk.".
+func TestRegistrableDomainSuffixEqualSpellings(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		name string
+		want string
+		ok   bool
+	}{
+		// Suffix-equal names in every spelling: never registrable.
+		{"co.uk.", "", false},
+		{"co.uk", "", false},
+		{"CO.UK.", "", false},
+		{"Co.Uk", "", false},
+		{"uk", "", false},
+		{"UK.", "", false},
+		{"com", "", false},
+		{"COM.", "", false},
+		// One label below stays registrable in any spelling.
+		{"Example.CO.UK", "example.co.uk.", true},
+		{"EXAMPLE.COM.", "example.com.", true},
+		// Empty-label garbage from dirty dumps: no registrable domain.
+		{"", "", false},
+		{".", "", false},
+		{"..", "", false},
+		{"co.uk..", "", false},
+		{".co.uk", "", false},
+		{"example..co.uk.", "", false},
+		{"..example.com.", "", false},
+	}
+	for _, c := range cases {
+		got, ok := l.RegistrableDomain(c.name)
+		if got != c.want || ok != c.ok {
+			t.Errorf("RegistrableDomain(%q) = %q,%v want %q,%v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+	// The malformed forms must not claim a public suffix either.
+	for _, name := range []string{"co.uk..", ".co.uk", "example..com."} {
+		if got := l.PublicSuffix(name); got != "." {
+			t.Errorf("PublicSuffix(%q) = %q, want \".\"", name, got)
+		}
+	}
+}
+
 func TestWildcardAndExceptionRules(t *testing.T) {
 	l, err := ParseString(`
 // comment line

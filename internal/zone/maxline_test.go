@@ -1,0 +1,58 @@
+package zone
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// A 10 MB physical line must fail with a positional error naming the
+// cap, not crash the scanner or silently truncate. Before the
+// MaxLogicalLineBytes cap was introduced, Parse surfaced a bare
+// bufio.Scanner: token too long with no position.
+func TestParseRejectsOverlongPhysicalLine(t *testing.T) {
+	input := "$ORIGIN example.com.\n" +
+		"big 3600 IN TXT \"" + strings.Repeat("a", 10<<20) + "\"\n"
+	_, err := ParseString(input, "")
+	if err == nil {
+		t.Fatal("10MB line parsed without error")
+	}
+	want := fmt.Sprintf("zone: line 2: line exceeds %d bytes", MaxLogicalLineBytes)
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err, want)
+	}
+}
+
+// The same cap applies to a logical line assembled from many short
+// physical lines inside parentheses.
+func TestParseRejectsOverlongLogicalLine(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("$ORIGIN example.com.\n")
+	sb.WriteString("big 3600 IN TXT (\n")
+	chunk := "\"" + strings.Repeat("a", 64<<10) + "\"\n"
+	for i := 0; i < 20; i++ { // 20 * 64KiB > 1MiB joined
+		sb.WriteString(chunk)
+	}
+	sb.WriteString(")\n")
+	_, err := ParseString(sb.String(), "")
+	if err == nil {
+		t.Fatal("over-long parenthesised record parsed without error")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("exceeds %d bytes", MaxLogicalLineBytes)) {
+		t.Fatalf("error = %q, want mention of the %d-byte cap", err, MaxLogicalLineBytes)
+	}
+}
+
+// Lines under the cap but far over bufio.Scanner's 64KiB default must
+// still parse: the cap raises the scanner buffer, it doesn't shrink it.
+func TestParseAcceptsLargeLegalLine(t *testing.T) {
+	payload := strings.Repeat("a", 128<<10)
+	input := "$ORIGIN example.com.\nbig 3600 IN TXT \"" + payload + "\"\n"
+	z, err := ParseString(input, "")
+	if err != nil {
+		t.Fatalf("128KiB line rejected: %v", err)
+	}
+	if got := len(z.All()); got != 1 {
+		t.Fatalf("got %d records, want 1", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/base64"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -12,6 +13,14 @@ import (
 
 	"dnssecboot/internal/dnswire"
 )
+
+// MaxLogicalLineBytes bounds one logical line: a physical line, or the
+// join of a parenthesised multi-line record. The longest legitimate
+// records (DNSKEY public keys, fat TXT sets) stay well under 100 KiB;
+// one mebibyte leaves an order of magnitude of headroom while keeping a
+// runaway input (no newlines, unterminated parentheses) from buffering
+// without bound. Input exceeding it fails with a positional error.
+const MaxLogicalLineBytes = 1 << 20
 
 // Parse reads an RFC 1035 master file into a Zone. origin is used
 // until a $ORIGIN directive overrides it; it may be "" if the file sets
@@ -22,7 +31,7 @@ func Parse(r io.Reader, origin string) (*Zone, error) {
 		ttl:    3600,
 		sc:     bufio.NewScanner(r),
 	}
-	p.sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	p.sc.Buffer(make([]byte, 0, 64*1024), MaxLogicalLineBytes)
 	return p.run()
 }
 
@@ -38,6 +47,10 @@ type fileParser struct {
 	sc        *bufio.Scanner
 	line      int
 	zone      *Zone
+	// rootAll roots the zone at "." regardless of origin, so a single
+	// record with any owner can be parsed in isolation (ParseRecord):
+	// origin then only resolves relative names, never rejects owners.
+	rootAll bool
 }
 
 func (p *fileParser) errf(format string, args ...any) error {
@@ -59,6 +72,12 @@ func (p *fileParser) run() (*Zone, error) {
 		}
 	}
 	if err := p.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner hit the cap mid-line; the offending line is
+			// the one after the last complete one.
+			p.line++
+			return nil, p.errf("line exceeds %d bytes", MaxLogicalLineBytes)
+		}
 		return nil, err
 	}
 	if p.zone == nil {
@@ -106,7 +125,14 @@ func (p *fileParser) logicalLine(first string) (string, error) {
 		if depth == 0 {
 			return strings.TrimRight(sb.String(), " \t"), nil
 		}
+		if sb.Len() > MaxLogicalLineBytes {
+			return "", p.errf("logical line exceeds %d bytes", MaxLogicalLineBytes)
+		}
 		if !p.sc.Scan() {
+			if err := p.sc.Err(); errors.Is(err, bufio.ErrTooLong) {
+				p.line++
+				return "", p.errf("line exceeds %d bytes", MaxLogicalLineBytes)
+			}
 			return "", p.errf("EOF inside '('")
 		}
 		p.line++
@@ -222,11 +248,15 @@ func (p *fileParser) handleLine(line string) error {
 		return err
 	}
 	if p.zone == nil {
-		if p.origin == "." && owner != "." {
-			// First record defines the origin when none was given.
-			p.origin = owner
+		if p.rootAll {
+			p.zone = New(".")
+		} else {
+			if p.origin == "." && owner != "." {
+				// First record defines the origin when none was given.
+				p.origin = owner
+			}
+			p.zone = New(p.origin)
 		}
-		p.zone = New(p.origin)
 	}
 	return p.zone.Add(dnswire.RR{Name: owner, Class: class, TTL: ttl, Data: rdata})
 }
@@ -599,7 +629,25 @@ func mapUnq(tokens []string) []string {
 // (the format RR.String produces), used when re-importing exported
 // observations.
 func ParseRR(line string) (dnswire.RR, error) {
-	z, err := ParseString(line, ".")
+	return ParseRecord(line, ".", 3600)
+}
+
+// ParseRecord parses one master-file record line in isolation: relative
+// names resolve against origin and a missing TTL field defaults to ttl,
+// but — unlike Parse — the record may name any owner, in or out of any
+// zone. This is the per-line primitive the streaming ingest pipeline
+// parallelises over: directives ($ORIGIN, $TTL) and blank-owner
+// continuation are stateful and must be resolved by the caller before
+// the line reaches this function.
+func ParseRecord(line, origin string, ttl uint32) (dnswire.RR, error) {
+	p := &fileParser{
+		origin:  dnswire.CanonicalName(origin),
+		ttl:     ttl,
+		rootAll: true,
+		sc:      bufio.NewScanner(strings.NewReader(line)),
+	}
+	p.sc.Buffer(make([]byte, 0, 256), MaxLogicalLineBytes)
+	z, err := p.run()
 	if err != nil {
 		return dnswire.RR{}, err
 	}

@@ -1,0 +1,129 @@
+package zone
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every rejected line must come back as an error naming the problem,
+// never a panic or a silently dropped record. One subtest per corpus
+// entry keeps failures attributable.
+func TestParseRRErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		line    string
+		wantSub string // substring the error must contain
+	}{
+		{"unknown type",
+			"a.example.com. 3600 IN FROB data", "FROB"},
+		{"missing type",
+			"a.example.com. 3600 IN", "missing record type"},
+		{"bad A address",
+			"a.example.com. 3600 IN A not-an-ip", "bad A address"},
+		{"v6 in A",
+			"a.example.com. 3600 IN A ::1", "bad A address"},
+		{"v4 in AAAA",
+			"a.example.com. 3600 IN AAAA 192.0.2.1", "bad AAAA address"},
+		{"short SOA",
+			"example.com. 3600 IN SOA ns1.example.com. hostmaster.example.com. 1", "SOA wants at least 7 fields"},
+		{"SOA non-numeric serial",
+			"example.com. 3600 IN SOA ns1.example.com. h.example.com. x 2 3 4 5", "SOA field 3"},
+		{"short MX",
+			"example.com. 3600 IN MX 10", "MX wants at least 2 fields"},
+		{"MX preference overflow",
+			"example.com. 3600 IN MX 70000 mail.example.com.", "MX field 1"},
+		{"short DS",
+			"example.com. 3600 IN DS 12345 8 2", "DS wants at least 4 fields"},
+		{"DS bad digest hex",
+			"example.com. 3600 IN DS 12345 8 2 zzzz", "DS digest"},
+		{"DNSKEY bad base64",
+			"example.com. 3600 IN DNSKEY 257 3 13 !!!!", "DNSKEY key"},
+		{"short RRSIG",
+			"example.com. 3600 IN RRSIG A 13 2 3600", "RRSIG wants at least 9 fields"},
+		{"RRSIG unknown covered type",
+			"example.com. 3600 IN RRSIG FROB 13 2 3600 20300101000000 20200101000000 1 example.com. AAAA", "RRSIG covered"},
+		{"RRSIG bad signature base64",
+			"example.com. 3600 IN RRSIG A 13 2 3600 100 50 1 example.com. !!!!", "RRSIG signature"},
+		{"NSEC bad type list",
+			"example.com. 3600 IN NSEC b.example.com. A FROB", "NSEC type list"},
+		{"short NSEC3",
+			"x.example.com. 3600 IN NSEC3 1 0 10", "NSEC3 wants at least 6 fields"},
+		{"NSEC3 bad salt hex",
+			"x.example.com. 3600 IN NSEC3 1 0 10 zz 0123456789abcdefghij A", "NSEC3 salt"},
+		{"NSEC3 bad base32hex next-hashed",
+			"x.example.com. 3600 IN NSEC3 1 0 10 - zzzz A", "NSEC3 next-hashed"},
+		{"NSEC3 bad type list",
+			"x.example.com. 3600 IN NSEC3 1 0 10 - 0123456789abcdef00 FROB", "NSEC3 type list"},
+		{"NSEC3PARAM bad salt",
+			"example.com. 3600 IN NSEC3PARAM 1 0 10 zz", "NSEC3PARAM salt"},
+		{"CSYNC bad type list",
+			"example.com. 3600 IN CSYNC 1 3 FROB", "CSYNC type list"},
+		{"CSYNC short",
+			"example.com. 3600 IN CSYNC 1", "CSYNC wants at least 2 fields"},
+		{"SRV short",
+			"_x._tcp.example.com. 3600 IN SRV 1 2", "SRV wants at least 4 fields"},
+		{"generic length mismatch",
+			`example.com. 3600 IN TYPE999 \# 3 0102`, "length 3 != 2 data octets"},
+		{"generic bad hex",
+			`example.com. 3600 IN TYPE999 \# 1 zz`, `\# hex`},
+		{"generic bad length field",
+			`example.com. 3600 IN TYPE999 \# x 01`, `\# length`},
+		{"no parser without generic syntax",
+			"example.com. 3600 IN TYPE999 opaque", "no presentation parser"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseRR(c.line)
+			if err == nil {
+				t.Fatalf("ParseRR(%q) succeeded, want error containing %q", c.line, c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("ParseRR(%q) error = %q, want substring %q", c.line, err, c.wantSub)
+			}
+		})
+	}
+}
+
+// ParseRecord resolves relative names against the supplied origin and
+// fills in a missing TTL, without restricting the owner to any zone —
+// the contract the parallel ingest workers depend on.
+func TestParseRecord(t *testing.T) {
+	rr, err := ParseRecord("www IN NS ns1", "example.com.", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Name != "www.example.com." {
+		t.Errorf("owner = %q, want www.example.com.", rr.Name)
+	}
+	if rr.TTL != 300 {
+		t.Errorf("ttl = %d, want default 300", rr.TTL)
+	}
+	if got := rr.Data.String(); got != "ns1.example.com." {
+		t.Errorf("NS target = %q, want ns1.example.com.", got)
+	}
+
+	// An owner far outside the origin is fine: ParseRecord roots at ".".
+	rr, err = ParseRecord("other.test. 60 IN A 192.0.2.1", "example.com.", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Name != "other.test." || rr.TTL != 60 {
+		t.Errorf("got (%q, %d), want (other.test., 60)", rr.Name, rr.TTL)
+	}
+
+	// "@" is the origin itself.
+	rr, err = ParseRecord("@ IN NS ns1.example.com.", "example.com.", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Name != "example.com." {
+		t.Errorf("@ owner = %q, want example.com.", rr.Name)
+	}
+
+	if _, err := ParseRecord("", "example.com.", 300); err == nil {
+		t.Error("empty line parsed as a record")
+	}
+	if _, err := ParseRecord("   IN NS ns1.example.com.", "example.com.", 300); err == nil {
+		t.Error("blank owner with no prior owner parsed")
+	}
+}
