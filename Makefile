@@ -6,7 +6,7 @@ GO ?= go
 # wholesale untested subsystem does.
 COVER_FLOOR ?= 70.0
 
-.PHONY: all test race cover lint fuzz-smoke bench-smoke bench-gate obs-smoke shard-smoke serve-smoke ingest-smoke build ci
+.PHONY: all test race cover lint lint-fixtures lint-pragma-budget fuzz-smoke bench-smoke bench-gate obs-smoke shard-smoke serve-smoke ingest-smoke build ci
 
 all: test
 
@@ -20,10 +20,22 @@ test:
 	$(GO) test ./...
 
 # The in-repo static-analysis suite (determinism, enum exhaustiveness,
-# concurrency hygiene, error discipline — see docs/LINTS.md). Any
-# finding is a nonzero exit.
+# concurrency hygiene, error discipline, and the pool/lock/goroutine
+# lifecycle analyzers — see docs/LINTS.md). Any finding is a nonzero
+# exit.
 lint:
 	$(GO) run ./cmd/dnssec-lint ./...
+
+# Fast inner loop while writing analyzers: only the fixture harness
+# (want-comment matching + per-check coverage), no whole-repo load.
+lint-fixtures:
+	$(GO) test ./internal/lint/ -run 'TestFixtures$$|TestFixtureChecksCovered'
+
+# Suppression budget: every //lint:allow must carry a reason and the
+# production-code pragma count must equal the reviewed budget constant
+# in internal/lint/pragma_test.go.
+lint-pragma-budget:
+	$(GO) test ./internal/lint/ -run 'TestPragmaBudget'
 
 # The chaos and concurrency paths under the race detector.
 race:
@@ -137,6 +149,7 @@ obs-smoke:
 ci:
 	$(GO) vet ./...
 	$(MAKE) lint
+	$(MAKE) lint-pragma-budget
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) cover

@@ -34,6 +34,7 @@ func newBuilder(dst []byte) *builder {
 	b.base = len(dst)
 	b.err = nil
 	clear(b.cmap)
+	//lint:allow poollife constructor hands pool ownership to the caller; every caller pairs it with release()
 	return b
 }
 
@@ -96,6 +97,7 @@ func newParser(msg []byte) *parser {
 	p := parserPool.Get().(*parser)
 	p.msg = msg
 	p.off = 0
+	//lint:allow poollife constructor hands pool ownership to the caller; every caller pairs it with release()
 	return p
 }
 

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The goroutinelife analyzer. The daemon and the scan pipeline shut
+// down by joining every goroutine they start — that is what makes the
+// chaos and restart batteries deterministic. A fire-and-forget
+// goroutine breaks that quietly: tests pass, and the leak only shows
+// up as a racy shutdown or a goroutine count that grows per request.
+//
+// Every go statement must therefore carry join evidence the walker can
+// see:
+//
+//   - a WaitGroup.Add in the spawning function before the go statement
+//     (the Add-before-go half of the Add/Done protocol), or
+//   - completion signalling in the goroutine body: a WaitGroup.Done, a
+//     channel send or close (errgroup style), or
+//   - cancellation in the body: a channel receive or select (the
+//     ctx/stop-channel loop shape).
+//
+// The body is the go statement's function literal, or — one call deep
+// — the declaration of a same-package function/method it invokes, so
+// `go c.reportLoop(stop)` is judged by reportLoop's own select loop.
+// Bodies the analyzer cannot resolve (function values, cross-package
+// callees) are skipped rather than guessed at.
+//
+// Separately, a WaitGroup.Add *inside* the spawned body is flagged
+// even when other evidence exists: the Add races the parent's Wait,
+// which may return before the goroutine has registered itself. An Add
+// that precedes a nested go statement inside the body is exempt —
+// that is the hierarchical pattern, a goroutine already counted in
+// the group registering a child before spawning it.
+
+func analyzeGoroutineLife(fset *token.FileSet, pkg *Package, cfg Config) []Finding {
+	if !cfg.Lifecycle[pkg.Path] {
+		return nil
+	}
+	idx := funcDeclIndex(pkg)
+	var findings []Finding
+	forEachFuncBody(pkg, func(fd *ast.FuncDecl) {
+		findings = append(findings, goroutineLifeFunc(fset, pkg, idx, fd.Body)...)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				findings = append(findings, goroutineLifeFunc(fset, pkg, idx, lit.Body)...)
+				return false
+			}
+			return true
+		})
+	})
+	return findings
+}
+
+type goroutineScan struct {
+	fset    *token.FileSet
+	pkg     *Package
+	idx     map[types.Object]*ast.FuncDecl
+	addSeen bool // a WaitGroup.Add has executed on this path
+	finds   []Finding
+}
+
+func goroutineLifeFunc(fset *token.FileSet, pkg *Package, idx map[types.Object]*ast.FuncDecl, body *ast.BlockStmt) []Finding {
+	sc := &goroutineScan{fset: fset, pkg: pkg, idx: idx}
+	h := &flowHooks{
+		onCall: func(call *ast.CallExpr, deferred bool) {
+			if sc.isWaitGroupMethod(call, "Add") {
+				sc.addSeen = true
+			}
+		},
+		onGo:    sc.goStmt,
+		fork:    func() any { return sc.addSeen },
+		restore: func(snap any) { sc.addSeen = snap.(bool) },
+		merge: func(outs []any) {
+			// An Add on any merged path counts: the evidence bar is
+			// "someone wired this goroutine to a Wait", not path purity.
+			sc.addSeen = false
+			for _, o := range outs {
+				sc.addSeen = sc.addSeen || o.(bool)
+			}
+		},
+	}
+	walkFlow(body, h)
+	return sc.finds
+}
+
+func (sc *goroutineScan) isWaitGroupMethod(call *ast.CallExpr, name string) bool {
+	_, recvType, mname, ok := methodOn(sc.pkg, call)
+	return ok && mname == name && syncTypeName(recvType) == "WaitGroup"
+}
+
+func (sc *goroutineScan) goStmt(g *ast.GoStmt) {
+	body := sc.spawnedBody(g.Call)
+	if body == nil {
+		return // unresolvable target; nothing provable either way
+	}
+	ev := sc.bodyEvidence(body)
+	if ev.addInside {
+		sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(g.Pos()), Check: CheckGoroutineLife,
+			Msg: "WaitGroup.Add inside the spawned goroutine races the parent's Wait; Add before the go statement"})
+	}
+	if ev.done || ev.signals || ev.cancellable || sc.addSeen {
+		return
+	}
+	sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(g.Pos()), Check: CheckGoroutineLife,
+		Msg: "fire-and-forget goroutine: no WaitGroup Add/Done, completion channel, or cancellation join"})
+}
+
+// spawnedBody resolves the code the go statement runs: a literal body,
+// or one call deep into a same-package function or method.
+func (sc *goroutineScan) spawnedBody(call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := sc.idx[sc.pkg.Info.Uses[fun]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := sc.idx[sc.pkg.Info.Uses[fun.Sel]]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+type joinEvidence struct {
+	done        bool // WaitGroup.Done (usually deferred)
+	addInside   bool // WaitGroup.Add — the racy half
+	signals     bool // channel send or close()
+	cancellable bool // channel receive or select
+}
+
+func (sc *goroutineScan) bodyEvidence(body *ast.BlockStmt) joinEvidence {
+	var ev joinEvidence
+	var addPos, lastGoPos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			lastGoPos = n.Pos()
+		case *ast.CallExpr:
+			if sc.isWaitGroupMethod(n, "Done") {
+				ev.done = true
+			}
+			if sc.isWaitGroupMethod(n, "Add") && n.Pos() > addPos {
+				addPos = n.Pos()
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && sc.pkg.Info.Uses[id] == types.Universe.Lookup("close") {
+				ev.signals = true
+			}
+		case *ast.SendStmt:
+			ev.signals = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ev.cancellable = true
+			}
+		case *ast.SelectStmt:
+			ev.cancellable = true
+		case *ast.RangeStmt:
+			// ranging over a channel ends when the channel closes — a
+			// cancellation shape.
+			if t := sc.pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					ev.cancellable = true
+				}
+			}
+		}
+		return true
+	})
+	// An Add that precedes a nested go statement is the legal
+	// hierarchical pattern (this goroutine, already in the group,
+	// registers a child before spawning it); an Add with no later spawn
+	// can only be registering the goroutine itself — the racy half.
+	if addPos != 0 && lastGoPos <= addPos {
+		ev.addInside = true
+	}
+	return ev
+}

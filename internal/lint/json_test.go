@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestJSONRoundTrip encodes every fixture finding to its JSONL form
+// and decodes it back: the machine format must carry exactly what the
+// human format prints (file, line, check, message).
+func TestJSONRoundTrip(t *testing.T) {
+	res := fixtureRun(t)
+	if len(res.Findings) == 0 {
+		t.Fatal("fixture run produced no findings to round-trip")
+	}
+	for _, f := range res.Findings {
+		line, err := f.JSONLine()
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if strings.ContainsRune(string(line), '\n') {
+			t.Errorf("%s: JSONL line contains a newline: %q", f, line)
+		}
+		back, err := ParseJSONLine(line)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if back.Pos.Filename != f.Pos.Filename || back.Pos.Line != f.Pos.Line ||
+			back.Check != f.Check || back.Msg != f.Msg {
+			t.Errorf("round-trip mismatch:\n in:  %s\n out: %s", f, back)
+		}
+	}
+}
+
+func TestParseJSONLineRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "not json", `{"file":1}`, `{"file":"a","line":1,"check":"x","msg":"m","extra":true}`} {
+		if _, err := ParseJSONLine([]byte(bad)); err == nil {
+			t.Errorf("ParseJSONLine(%q) = nil error, want failure", bad)
+		}
+	}
+}
+
+func TestParseCheckList(t *testing.T) {
+	keep, err := ParseCheckList("poollife, lockdiscipline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keep[CheckPoolLife] || !keep[CheckLockDiscipline] || len(keep) != 2 {
+		t.Errorf("ParseCheckList kept %v", keep)
+	}
+	if _, err := ParseCheckList("poollfe"); err == nil {
+		t.Error("ParseCheckList accepted a typo'd check name")
+	}
+	if _, err := ParseCheckList(" ,,"); err == nil {
+		t.Error("ParseCheckList accepted an empty list")
+	}
+}
+
+// TestFilterChecks runs the fixture subset filter: only findings of
+// the requested checks survive, and a nil filter keeps everything.
+func TestFilterChecks(t *testing.T) {
+	res := fixtureRun(t)
+	all := len(res.Findings)
+	filtered := &Result{Findings: append([]Finding(nil), res.Findings...), Packages: res.Packages}
+	filtered.Filter(map[string]bool{CheckPoolLife: true})
+	if len(filtered.Findings) == 0 || len(filtered.Findings) == all {
+		t.Fatalf("filter kept %d of %d findings; want a proper nonempty subset", len(filtered.Findings), all)
+	}
+	for _, f := range filtered.Findings {
+		if f.Check != CheckPoolLife {
+			t.Errorf("filter leaked %s", f)
+		}
+	}
+	unfiltered := &Result{Findings: append([]Finding(nil), res.Findings...)}
+	unfiltered.Filter(nil)
+	if len(unfiltered.Findings) != all {
+		t.Errorf("nil filter dropped findings: %d of %d left", len(unfiltered.Findings), all)
+	}
+}

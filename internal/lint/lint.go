@@ -21,6 +21,12 @@
 //     goroutine closures do not capture loop variables implicitly.
 //   - errcompare / errwrap: sentinel errors go through errors.Is, and
 //     fmt.Errorf keeps error chains intact with %w.
+//   - poollife / lockdiscipline / goroutinelife: the lifecycle
+//     analyzers, path-sensitive over the function-local dataflow layer
+//     (dataflow.go). In the lifecycle packages every pool.Get reaches
+//     a Put on all paths without use-after-Put or escape, every held
+//     mutex is released on every return path with nothing blocking
+//     under it, and every goroutine carries join evidence.
 //
 // Findings print as "file:line: [check] message". A site can opt out
 // with a trailing or preceding pragma comment:
@@ -48,8 +54,25 @@ const (
 	CheckConcurrency    = "concurrency"
 	CheckErrCompare     = "errcompare"
 	CheckErrWrap        = "errwrap"
+	CheckPoolLife       = "poollife"
+	CheckLockDiscipline = "lockdiscipline"
+	CheckGoroutineLife  = "goroutinelife"
 	CheckPragma         = "pragma"
 )
+
+// KnownChecks is the set of valid check identifiers; pragmas naming
+// anything else are reported rather than silently ignored.
+var KnownChecks = map[string]bool{
+	CheckNondeterminism: true,
+	CheckExhaustive:     true,
+	CheckConcurrency:    true,
+	CheckErrCompare:     true,
+	CheckErrWrap:        true,
+	CheckPoolLife:       true,
+	CheckLockDiscipline: true,
+	CheckGoroutineLife:  true,
+	CheckPragma:         true,
+}
 
 // Finding is one diagnostic.
 type Finding struct {
@@ -71,6 +94,10 @@ type Config struct {
 	// HotPath lists the import paths whose ctx-threading and
 	// loop-capture rules are enforced (the resolver/scan hot paths).
 	HotPath map[string]bool
+	// Lifecycle lists the import paths covered by the dataflow
+	// analyzers (poollife, lockdiscipline, goroutinelife): everywhere
+	// pooled scratch, bare mutexes, or worker goroutines live.
+	Lifecycle map[string]bool
 }
 
 // DefaultConfig returns the repo's scoping: the packages whose output
@@ -91,11 +118,25 @@ func DefaultConfig(module string) Config {
 			// scan's export paths must serialise identically across
 			// runs; the scanner itself is allowed wall-clock state.
 			p("internal/scan"): {"export.go", "observation.go", "checkpoint.go"},
+			// shard's merge and partition feed the cross-shard
+			// byte-equality battery; the coordinator itself is allowed
+			// wall-clock state (stall detection, progress reports).
+			p("internal/shard"): {"merge.go", "partition.go"},
 		},
 		HotPath: map[string]bool{
 			p("internal/resolver"): true,
 			p("internal/scan"):     true,
 			p("internal/ingest"):   true,
+		},
+		Lifecycle: map[string]bool{
+			p("internal/resolver"):  true,
+			p("internal/scan"):      true,
+			p("internal/ingest"):    true,
+			p("internal/dnswire"):   true,
+			p("internal/transport"): true,
+			p("internal/server"):    true,
+			p("internal/rate"):      true,
+			p("internal/shard"):     true,
 		},
 	}
 }
@@ -138,6 +179,9 @@ func Run(loader *Loader, pkgs []*Package, cfg Config) *Result {
 		raw = append(raw, analyzeExhaustive(fset, pkg, enums)...)
 		raw = append(raw, analyzeConcurrency(fset, pkg, cfg)...)
 		raw = append(raw, analyzeErrDiscipline(fset, pkg)...)
+		raw = append(raw, analyzePoolLife(fset, pkg, cfg)...)
+		raw = append(raw, analyzeLockDiscipline(fset, pkg, cfg)...)
+		raw = append(raw, analyzeGoroutineLife(fset, pkg, cfg)...)
 	}
 
 	var kept []Finding
@@ -234,6 +278,11 @@ func collectPragmas(fset *token.FileSet, pkgs []*Package) (allowSet, []Finding) 
 					if len(fields) == 0 {
 						findings = append(findings, Finding{Pos: pos, Check: CheckPragma,
 							Msg: "allow pragma names no check: want //lint:allow <check> <reason>"})
+						continue
+					}
+					if !KnownChecks[fields[0]] {
+						findings = append(findings, Finding{Pos: pos, Check: CheckPragma,
+							Msg: fmt.Sprintf("allow pragma names unknown check %q; the pragma is ignored", fields[0])})
 						continue
 					}
 					if len(fields) < 2 {

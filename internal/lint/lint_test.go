@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -22,7 +23,7 @@ import (
 
 const fixtureRoot = "testdata/src"
 
-var fixtures = []string{"determ", "exhaust", "conc", "errs"}
+var fixtures = []string{"determ", "exhaust", "conc", "errs", "poollife", "lockdisc", "goroutine"}
 
 // fixtureConfig scopes the analyzers to the fixture packages the way
 // DefaultConfig scopes them to the repo.
@@ -33,6 +34,11 @@ func fixtureConfig(module string) Config {
 	return Config{
 		Deterministic: map[string][]string{p("determ"): nil},
 		HotPath:       map[string]bool{p("conc"): true},
+		Lifecycle: map[string]bool{
+			p("poollife"):  true,
+			p("lockdisc"):  true,
+			p("goroutine"): true,
+		},
 	}
 }
 
@@ -89,6 +95,27 @@ func collectWants(t *testing.T) []*expectation {
 	return wants
 }
 
+// testLoader is the one Loader every test in this package shares: the
+// source importer and the memoized module packages make the fixture
+// run and the repo self-check pay for type-checking the dependency
+// graph once per test binary, not once per test.
+var (
+	testLoader     *Loader
+	testLoaderErr  error
+	testLoaderOnce sync.Once
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	testLoaderOnce.Do(func() {
+		testLoader, testLoaderErr = NewLoader("../..")
+	})
+	if testLoaderErr != nil {
+		t.Fatal(testLoaderErr)
+	}
+	return testLoader
+}
+
 // fixtureResult runs the analyzer stack over the fixture packages once
 // per test binary; both fixture tests read the same result.
 var fixtureResult *Result
@@ -98,10 +125,7 @@ func fixtureRun(t *testing.T) *Result {
 	if fixtureResult != nil {
 		return fixtureResult
 	}
-	loader, err := NewLoader("../..")
-	if err != nil {
-		t.Fatal(err)
-	}
+	loader := sharedLoader(t)
 	var patterns []string
 	for _, name := range fixtures {
 		patterns = append(patterns, "internal/lint/"+fixtureRoot+"/"+name)
@@ -160,7 +184,8 @@ func TestFixtureChecksCovered(t *testing.T) {
 		seen[f.Check] = true
 	}
 	var missing []string
-	for _, check := range []string{CheckNondeterminism, CheckExhaustive, CheckConcurrency, CheckErrCompare, CheckErrWrap, CheckPragma} {
+	for _, check := range []string{CheckNondeterminism, CheckExhaustive, CheckConcurrency, CheckErrCompare, CheckErrWrap,
+		CheckPoolLife, CheckLockDiscipline, CheckGoroutineLife, CheckPragma} {
 		if !seen[check] {
 			missing = append(missing, check)
 		}
@@ -175,10 +200,12 @@ func TestFixtureChecksCovered(t *testing.T) {
 // over the whole repository must report nothing, so any finding a
 // future change introduces fails this test as well as make lint.
 func TestSelfCheckRepoIsClean(t *testing.T) {
-	res, err := Analyze("../..", nil, nil)
+	loader := sharedLoader(t)
+	pkgs, err := loader.Load(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := Run(loader, pkgs, DefaultConfig(loader.Module()))
 	for _, f := range res.Findings {
 		t.Errorf("repo is not lint-clean: %s", f)
 	}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package: the unit every analyzer
@@ -31,12 +32,18 @@ type Package struct {
 // Loader parses and type-checks packages of one module. All packages
 // share a single FileSet and a single source importer, so dependency
 // packages (including the standard library) are type-checked once per
-// Loader no matter how many module packages import them.
+// Loader no matter how many module packages import them; loaded module
+// packages are memoized too, so repeated Load calls (the fixture
+// harness plus the repo self-check in one test binary) parse and check
+// each directory once.
 type Loader struct {
 	Fset *token.FileSet
 	imp  types.Importer
 	root string
 	mod  string
+
+	mu    sync.Mutex
+	cache map[string]*Package // by absolute directory; nil entry = test-only dir
 }
 
 // NewLoader prepares a loader for the module rooted at root (the
@@ -55,10 +62,11 @@ func NewLoader(root string) (*Loader, error) {
 	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
 	return &Loader{
-		Fset: fset,
-		imp:  importer.ForCompiler(fset, "source", nil),
-		root: abs,
-		mod:  mod,
+		Fset:  fset,
+		imp:   importer.ForCompiler(fset, "source", nil),
+		root:  abs,
+		mod:   mod,
+		cache: make(map[string]*Package),
 	}, nil
 }
 
@@ -196,9 +204,23 @@ func lintableFile(name string) bool {
 	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
 }
 
-// loadDir parses and type-checks the package in dir. Directories whose
-// only Go files are tests yield nil.
+// loadDir parses and type-checks the package in dir, memoizing the
+// result. Directories whose only Go files are tests yield nil.
 func (l *Loader) loadDir(dir string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p, ok := l.cache[dir]; ok {
+		return p, nil
+	}
+	p, err := l.loadDirUncached(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[dir] = p
+	return p, nil
+}
+
+func (l *Loader) loadDirUncached(dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The lockdiscipline analyzer. The fast paths guard shared state with
+// sync.Mutex/RWMutex directly (no channels), so three bug classes are
+// one edit away at every call site:
+//
+//   - a Lock with no dominating Unlock or defer on some return path
+//     (the next caller deadlocks, but only on the branch the tests
+//     didn't take);
+//   - a second Lock of the same receiver while it is already held
+//     (self-deadlock, immediately);
+//   - a blocking operation — channel send/recv, select without
+//     default, WaitGroup.Wait, time.Sleep, network I/O, pool.Get —
+//     while a lock is held, which converts one slow peer into a
+//     pipeline-wide stall.
+//
+// Locks are tracked per path by the rendered receiver expression
+// ("l.mu", "c.faults.mu"), so distinct instances of the same type do
+// not alias. sync.Cond.Wait is exempt (it must be called with its lock
+// held). Functions that unlock a mutex they did not lock (the
+// "caller-holds" helper contract) are not flagged: the walker cannot
+// see the caller, and the contract is legitimate.
+
+func analyzeLockDiscipline(fset *token.FileSet, pkg *Package, cfg Config) []Finding {
+	if !cfg.Lifecycle[pkg.Path] {
+		return nil
+	}
+	var findings []Finding
+	forEachFuncBody(pkg, func(fd *ast.FuncDecl) {
+		findings = append(findings, lockDisciplineFunc(fset, pkg, fd.Body)...)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				findings = append(findings, lockDisciplineFunc(fset, pkg, lit.Body)...)
+				return false
+			}
+			return true
+		})
+	})
+	return findings
+}
+
+// heldLock is the per-path state of one acquired lock.
+type heldLock struct {
+	pos         token.Pos
+	rlock       bool // acquired via RLock
+	deferred    bool // a defer releases it on every exit
+	conditional bool // held on only some of the merged paths
+}
+
+type lockScan struct {
+	fset  *token.FileSet
+	pkg   *Package
+	held  map[string]*heldLock
+	finds []Finding
+}
+
+func lockDisciplineFunc(fset *token.FileSet, pkg *Package, body *ast.BlockStmt) []Finding {
+	sc := &lockScan{fset: fset, pkg: pkg, held: make(map[string]*heldLock)}
+	h := &flowHooks{
+		onCall:         sc.call,
+		onDeferClosure: sc.deferClosure,
+		onSend:         func(s *ast.SendStmt) { sc.blocking(s.Pos(), "channel send") },
+		onRecv:         func(r *ast.UnaryExpr) { sc.blocking(r.Pos(), "channel receive") },
+		onSelect: func(sel *ast.SelectStmt, blocking bool) {
+			if blocking {
+				sc.blocking(sel.Pos(), "select with no default")
+			}
+		},
+		onExit:  sc.exit,
+		loopEnd: sc.loopEnd,
+		fork:    func() any { return cloneHeld(sc.held) },
+		restore: func(snap any) { sc.held = cloneHeld(snap.(map[string]*heldLock)) },
+		merge:   sc.merge,
+	}
+	walkFlow(body, h)
+	return sc.finds
+}
+
+func cloneHeld(m map[string]*heldLock) map[string]*heldLock {
+	out := make(map[string]*heldLock, len(m))
+	for k, v := range m {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// merge keeps the union of the branches' held locks; a lock absent on
+// some branch becomes conditional — held-at-exit still fires for it
+// (that asymmetry is the "no dominating Unlock" bug), but double-Lock
+// does not (the second Lock may be on the branch that released it).
+func (sc *lockScan) merge(outs []any) {
+	merged := cloneHeld(outs[0].(map[string]*heldLock))
+	for _, o := range outs[1:] {
+		st := o.(map[string]*heldLock)
+		for k, a := range merged {
+			b, ok := st[k]
+			if !ok {
+				a.conditional = true
+				continue
+			}
+			a.deferred = a.deferred && b.deferred
+			a.conditional = a.conditional || b.conditional
+			if b.pos < a.pos {
+				a.pos = b.pos
+			}
+		}
+		for k, b := range st {
+			if _, ok := merged[k]; !ok {
+				c := *b
+				c.conditional = true
+				merged[k] = &c
+			}
+		}
+	}
+	sc.held = merged
+}
+
+// lockMethod classifies call as a Mutex/RWMutex acquire or release.
+func (sc *lockScan) lockMethod(call *ast.CallExpr) (key string, name string, ok bool) {
+	recv, recvType, mname, mok := methodOn(sc.pkg, call)
+	if !mok {
+		return "", "", false
+	}
+	tn := syncTypeName(recvType)
+	if tn != "Mutex" && tn != "RWMutex" {
+		return "", "", false
+	}
+	switch mname {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	k := exprKey(recv)
+	if k == "" {
+		return "", "", false
+	}
+	return k, mname, true
+}
+
+func (sc *lockScan) call(call *ast.CallExpr, deferred bool) {
+	if key, name, ok := sc.lockMethod(call); ok {
+		sc.lockEvent(call, key, name, deferred)
+		return
+	}
+	if deferred {
+		return // deferred calls run at exit, after the lock is released
+	}
+	if desc := blockingCallDesc(sc.pkg, call); desc != "" {
+		sc.blocking(call.Pos(), desc)
+	}
+}
+
+func (sc *lockScan) lockEvent(call *ast.CallExpr, key, name string, deferred bool) {
+	acquire := name == "Lock" || name == "RLock"
+	rlock := name == "RLock" || name == "RUnlock"
+	st := sc.held[key]
+	switch {
+	case acquire && deferred:
+		// `defer mu.Lock()` is always a bug, but not one of this
+		// analyzer's classes; vet territory.
+	case acquire:
+		if st != nil && !st.conditional {
+			sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(call.Pos()), Check: CheckLockDiscipline,
+				Msg: fmt.Sprintf("%s of %s while already held (locked at line %d); this path self-deadlocks", name, key, sc.fset.Position(st.pos).Line)})
+			return
+		}
+		sc.held[key] = &heldLock{pos: call.Pos(), rlock: rlock}
+	case deferred: // defer mu.Unlock()
+		if st != nil {
+			sc.unlockKindCheck(call, key, st, rlock)
+			st.deferred = true
+		}
+	default: // plain Unlock/RUnlock
+		if st != nil {
+			sc.unlockKindCheck(call, key, st, rlock)
+			delete(sc.held, key)
+		}
+	}
+}
+
+func (sc *lockScan) unlockKindCheck(call *ast.CallExpr, key string, st *heldLock, rlock bool) {
+	if st.rlock == rlock {
+		return
+	}
+	kind, want := "Lock", "Unlock"
+	if st.rlock {
+		kind, want = "RLock", "RUnlock"
+	}
+	sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(call.Pos()), Check: CheckLockDiscipline,
+		Msg: fmt.Sprintf("%s acquired via %s at line %d but released with the wrong kind; want %s", key, kind, sc.fset.Position(st.pos).Line, want)})
+}
+
+// deferClosure scans `defer func() { ... }()` for releases of locks
+// held at registration time. A closure that re-acquires the lock
+// itself (Lock then Unlock inside) is balanced and releases nothing of
+// the outer path, so a per-key depth counter distinguishes the two.
+func (sc *lockScan) deferClosure(lit *ast.FuncLit) {
+	depth := make(map[string]int)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, name, ok := sc.lockMethod(call)
+		if !ok {
+			return true
+		}
+		switch name {
+		case "Lock", "RLock":
+			depth[key]++
+		case "Unlock", "RUnlock":
+			if depth[key] > 0 {
+				depth[key]--
+			} else if st := sc.held[key]; st != nil {
+				sc.unlockKindCheck(call, key, st, name == "RUnlock")
+				st.deferred = true
+			}
+		}
+		return true
+	})
+}
+
+func (sc *lockScan) blocking(pos token.Pos, what string) {
+	keys := heldKeys(sc.held, func(st *heldLock) bool { return !st.conditional })
+	if len(keys) == 0 {
+		return
+	}
+	st := sc.held[keys[0]]
+	sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(pos), Check: CheckLockDiscipline,
+		Msg: fmt.Sprintf("%s while %s is held (locked at line %d); a slow peer stalls every other holder", what, keys[0], sc.fset.Position(st.pos).Line)})
+}
+
+func (sc *lockScan) exit(n ast.Node) {
+	pos := n.Pos()
+	if b, ok := n.(*ast.BlockStmt); ok {
+		pos = b.End()
+	}
+	for _, key := range heldKeys(sc.held, func(st *heldLock) bool { return !st.deferred }) {
+		st := sc.held[key]
+		msg := fmt.Sprintf("%s locked at line %d is still held at this return", key, sc.fset.Position(st.pos).Line)
+		if st.conditional {
+			msg = fmt.Sprintf("%s locked at line %d may still be held at this return (released on some paths only)", key, sc.fset.Position(st.pos).Line)
+		}
+		sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(pos), Check: CheckLockDiscipline, Msg: msg})
+	}
+}
+
+// loopEnd flags locks acquired inside the loop body that survive to
+// the end of an iteration: the next iteration re-locks and deadlocks.
+func (sc *lockScan) loopEnd(loop ast.Node, entry any) {
+	entryHeld := entry.(map[string]*heldLock)
+	for _, key := range heldKeys(sc.held, func(st *heldLock) bool { return !st.deferred }) {
+		if _, atEntry := entryHeld[key]; atEntry {
+			continue
+		}
+		st := sc.held[key]
+		sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(st.pos), Check: CheckLockDiscipline,
+			Msg: fmt.Sprintf("%s locked at line %d is still held at the end of the loop iteration; the next iteration deadlocks", key, sc.fset.Position(st.pos).Line)})
+	}
+}
+
+// heldKeys returns the keys of held whose state passes keep, sorted
+// for deterministic findings.
+func heldKeys(held map[string]*heldLock, keep func(*heldLock) bool) []string {
+	var keys []string
+	for k, st := range held {
+		if keep(st) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// netBlockingMethods are the net-package connection methods that can
+// block on the peer.
+var netBlockingMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"ReadFromUDP": true, "WriteToUDP": true, "ReadMsgUDP": true,
+	"WriteMsgUDP": true, "Accept": true, "AcceptTCP": true, "AcceptUDP": true,
+}
+
+// blockingCallDesc classifies call as an operation that can block
+// indefinitely; "" means not blocking (or exempt, like sync.Cond.Wait,
+// which requires its lock held).
+func blockingCallDesc(pkg *Package, call *ast.CallExpr) string {
+	if _, recvType, name, ok := methodOn(pkg, call); ok {
+		switch syncTypeName(recvType) {
+		case "WaitGroup":
+			if name == "Wait" {
+				return "WaitGroup.Wait"
+			}
+			return ""
+		case "Pool":
+			if name == "Get" {
+				return "pool.Get"
+			}
+			return ""
+		case "Cond", "Mutex", "RWMutex":
+			return ""
+		}
+		if named, ok := recvTypeNamed(recvType); ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "net" && netBlockingMethods[name] {
+			return "net." + named.Obj().Name() + "." + name
+		}
+		return ""
+	}
+	// Package-level calls: time.Sleep, and anything out of net (Dial,
+	// Listen, the Lookup family — all block on the network).
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if sel.Sel.Name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net":
+		return "net." + sel.Sel.Name
+	}
+	return ""
+}
+
+// recvTypeNamed unwraps one pointer and reports the named receiver
+// type.
+func recvTypeNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}

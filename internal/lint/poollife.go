@@ -1,0 +1,411 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The poollife analyzer. sync.Pool bought the hot paths their
+// allocation-free steady state (PR 8), and in exchange every Get site
+// took on three manual obligations that nothing was checking:
+//
+//   - the object must reach a Put on every non-panic path (a leaked
+//     object silently degrades the pool back to malloc);
+//   - the object must not be used after Put (another goroutine may
+//     already own it — the silent-data-corruption class of bug);
+//   - the object (or storage aliasing it: a deref, a slice of it, the
+//     address of one of its fields) must not escape the function via
+//     return, channel send, closure capture or a store to a field,
+//     unless ownership is deliberately transferred and the site says so
+//     with //lint:allow poollife <reason>.
+//
+// Tracking is function-local over the dataflow walker: objects are
+// introduced by assignments whose right-hand side is a
+// (*sync.Pool).Get call (possibly behind a type assertion), and
+// aliases propagate through plain copies, derefs, slicing and
+// field-address-of — alias groups share one status, so a deferred Put
+// of the original covers every alias. Values derived through other
+// calls are not tracked; the codec's documented copy-on-return
+// contract covers those.
+
+func analyzePoolLife(fset *token.FileSet, pkg *Package, cfg Config) []Finding {
+	if !cfg.Lifecycle[pkg.Path] {
+		return nil
+	}
+	var findings []Finding
+	forEachFuncBody(pkg, func(fd *ast.FuncDecl) {
+		findings = append(findings, poolLifeFunc(fset, pkg, fd.Body)...)
+		// Closures are their own lifetimes: a Get inside a FuncLit must
+		// be balanced inside it.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				findings = append(findings, poolLifeFunc(fset, pkg, lit.Body)...)
+				return false
+			}
+			return true
+		})
+	})
+	return findings
+}
+
+// poolObj is the per-path status of one alias group of a pooled
+// object.
+type poolObj struct {
+	getPos   token.Pos
+	mustPut  bool // Put on every path reaching here
+	mayPut   bool // Put on at least one path
+	putPos   token.Pos
+	deferPut bool // a defer puts it on every exit
+	escaped  bool // ownership left the function (reported at the site)
+}
+
+// poolState maps object identities to alias-group ids and groups to
+// their path status. ids survive forks unchanged (alias structure is
+// path-independent); stat is forked per path.
+type poolState struct {
+	ids  map[types.Object]int
+	stat map[int]*poolObj
+}
+
+// cloneStat snapshots the per-path half of the state.
+func (s *poolState) cloneStat() map[int]*poolObj {
+	out := make(map[int]*poolObj, len(s.stat))
+	for k, v := range s.stat {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+type poolLifeScan struct {
+	fset   *token.FileSet
+	pkg    *Package
+	state  poolState
+	nextID int
+	finds  []Finding
+}
+
+func poolLifeFunc(fset *token.FileSet, pkg *Package, body *ast.BlockStmt) []Finding {
+	sc := &poolLifeScan{fset: fset, pkg: pkg,
+		state: poolState{ids: make(map[types.Object]int), stat: make(map[int]*poolObj)}}
+	h := &flowHooks{
+		onAssign:       sc.assign,
+		onCall:         sc.call,
+		onSend:         sc.send,
+		onFuncLit:      sc.funcLit,
+		onDeferClosure: sc.deferClosure,
+		onExit:         sc.exit,
+		fork:           func() any { return sc.state.cloneStat() },
+		restore:        func(snap any) { sc.state.stat = clonePoolStat(snap.(map[int]*poolObj)) },
+		merge:          sc.merge,
+	}
+	walkFlow(body, h)
+	return sc.finds
+}
+
+func clonePoolStat(m map[int]*poolObj) map[int]*poolObj {
+	out := make(map[int]*poolObj, len(m))
+	for k, v := range m {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+func (sc *poolLifeScan) merge(outs []any) {
+	merged := clonePoolStat(outs[0].(map[int]*poolObj))
+	for _, o := range outs[1:] {
+		st := o.(map[int]*poolObj)
+		for id, a := range merged {
+			b, ok := st[id]
+			if !ok {
+				continue // introduced on one branch only
+			}
+			a.mustPut = a.mustPut && b.mustPut
+			a.mayPut = a.mayPut || b.mayPut
+			a.deferPut = a.deferPut && b.deferPut
+			a.escaped = a.escaped || b.escaped
+		}
+		for id, b := range st {
+			if _, ok := merged[id]; !ok {
+				c := *b
+				merged[id] = &c
+			}
+		}
+	}
+	sc.state.stat = merged
+}
+
+// isPoolGet reports whether e (unwrapping a type assertion) is a
+// (*sync.Pool).Get call.
+func (sc *poolLifeScan) isPoolGet(e ast.Expr) bool {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, recvType, name, ok := methodOn(sc.pkg, call)
+	return ok && name == "Get" && syncTypeName(recvType) == "Pool"
+}
+
+// track registers id's object as a fresh alias group.
+func (sc *poolLifeScan) track(obj types.Object, getPos token.Pos) {
+	sc.nextID++
+	sc.state.ids[obj] = sc.nextID
+	sc.state.stat[sc.nextID] = &poolObj{getPos: getPos}
+}
+
+// trackedIn returns the alias-group status referenced by e: the object
+// itself, a deref, a slice of it, or the address of one of its fields.
+func (sc *poolLifeScan) trackedIn(e ast.Expr) (types.Object, *poolObj) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := sc.pkg.Info.Uses[e]
+		if obj == nil {
+			return nil, nil
+		}
+		if id, ok := sc.state.ids[obj]; ok {
+			if st, live := sc.state.stat[id]; live {
+				return obj, st
+			}
+		}
+	case *ast.ParenExpr:
+		return sc.trackedIn(e.X)
+	case *ast.StarExpr:
+		return sc.trackedIn(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return sc.trackedIn(e.X)
+		}
+	case *ast.SliceExpr:
+		return sc.trackedIn(e.X)
+	case *ast.SelectorExpr:
+		// &s.field and s.field[:] arrive via UnaryExpr/SliceExpr above;
+		// a bare field read is not treated as aliasing — tracking it
+		// trips over the codec's copy-out contract.
+		return nil, nil
+	}
+	return nil, nil
+}
+
+// anyTrackedUnder reports a tracked, live object referenced anywhere
+// under n.
+func (sc *poolLifeScan) anyTrackedUnder(n ast.Node) (*poolObj, *ast.Ident) {
+	var foundSt *poolObj
+	var foundID *ast.Ident
+	ast.Inspect(n, func(c ast.Node) bool {
+		if foundSt != nil {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := sc.pkg.Info.Uses[id]; obj != nil {
+				if gid, ok := sc.state.ids[obj]; ok {
+					if st, live := sc.state.stat[gid]; live {
+						foundSt, foundID = st, id
+					}
+				}
+			}
+		}
+		return true
+	})
+	return foundSt, foundID
+}
+
+func (sc *poolLifeScan) assign(a *ast.AssignStmt) {
+	sc.checkUseAfterPut(a)
+	// New tracked objects: x := pool.Get().(*T).
+	for i, rhs := range a.Rhs {
+		if !sc.isPoolGet(rhs) || i >= len(a.Lhs) {
+			continue
+		}
+		id, ok := a.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := sc.pkg.Info.Defs[id]
+		if obj == nil {
+			obj = sc.pkg.Info.Uses[id]
+		}
+		if obj != nil {
+			sc.track(obj, rhs.Pos())
+		}
+	}
+	// Alias propagation and field-store escapes.
+	for i, rhs := range a.Rhs {
+		srcObj, srcSt := sc.trackedIn(rhs)
+		if srcObj == nil || i >= len(a.Lhs) {
+			continue
+		}
+		switch lhs := a.Lhs[i].(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			obj := sc.pkg.Info.Defs[lhs]
+			if obj == nil {
+				obj = sc.pkg.Info.Uses[lhs]
+			}
+			if obj != nil && obj != srcObj {
+				sc.state.ids[obj] = sc.state.ids[srcObj]
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			srcSt.escaped = true
+			sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(a.Pos()), Check: CheckPoolLife,
+				Msg: fmt.Sprintf("pooled object from pool.Get at line %d is stored outside the function's locals; pooled storage must not outlive the call",
+					sc.fset.Position(srcSt.getPos).Line)})
+		}
+	}
+}
+
+func (sc *poolLifeScan) call(call *ast.CallExpr, deferred bool) {
+	_, recvType, name, ok := methodOn(sc.pkg, call)
+	if !ok || name != "Put" || syncTypeName(recvType) != "Pool" || len(call.Args) != 1 {
+		sc.checkUseAfterPut(call)
+		return
+	}
+	obj, st := sc.trackedIn(call.Args[0])
+	if obj == nil {
+		return
+	}
+	if deferred {
+		st.deferPut = true
+		return
+	}
+	if st.mustPut {
+		sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(call.Pos()), Check: CheckPoolLife,
+			Msg: fmt.Sprintf("double Put of pooled object already returned at line %d", sc.fset.Position(st.putPos).Line)})
+		return
+	}
+	st.mustPut = true
+	st.mayPut = true
+	st.putPos = call.Pos()
+}
+
+// checkUseAfterPut flags references to definitely-Put objects inside an
+// expression (the Put call's own argument was consumed by call()).
+func (sc *poolLifeScan) checkUseAfterPut(n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false // closures are handled by funcLit()
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := sc.pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		gid, tracked := sc.state.ids[obj]
+		if !tracked {
+			return true
+		}
+		if st, live := sc.state.stat[gid]; live && st.mustPut && !st.deferPut {
+			sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(id.Pos()), Check: CheckPoolLife,
+				Msg: fmt.Sprintf("%s is used after being Put back to its pool at line %d", id.Name, sc.fset.Position(st.putPos).Line)})
+		}
+		return true
+	})
+}
+
+func (sc *poolLifeScan) send(s *ast.SendStmt) {
+	if st, id := sc.anyTrackedUnder(s.Value); st != nil {
+		st.escaped = true
+		sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(s.Pos()), Check: CheckPoolLife,
+			Msg: fmt.Sprintf("pooled object %q escapes via channel send; the receiver now owns storage the pool may hand out again", id.Name)})
+	}
+}
+
+func (sc *poolLifeScan) funcLit(lit *ast.FuncLit) {
+	if st, id := sc.anyTrackedUnder(lit.Body); st != nil {
+		st.escaped = true
+		sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(lit.Pos()), Check: CheckPoolLife,
+			Msg: fmt.Sprintf("pooled object %q is captured by a closure that may outlive the call", id.Name)})
+	}
+}
+
+// deferClosure treats `defer func() { pool.Put(x) }()` as a deferred
+// Put; other tracked references inside it run on the exit path, after
+// every ordinary use, so nothing else is flagged.
+func (sc *poolLifeScan) deferClosure(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		_, recvType, name, mok := methodOn(sc.pkg, call)
+		if !mok || name != "Put" || syncTypeName(recvType) != "Pool" || len(call.Args) != 1 {
+			return true
+		}
+		if _, st := sc.trackedIn(call.Args[0]); st != nil {
+			st.deferPut = true
+		}
+		return true
+	})
+}
+
+func (sc *poolLifeScan) exit(n ast.Node) {
+	pos := n.Pos()
+	if b, ok := n.(*ast.BlockStmt); ok {
+		pos = b.End() // fall-through exit: report at the closing brace
+	}
+	// Escape via return: only results whose type can carry pooled
+	// storage (pointer, slice, map, chan) escape; value copies like
+	// `return len(s.b)` or interned-string copy-outs do not. A result
+	// referencing an already-Put object is a use-after-put instead.
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		for _, res := range ret.Results {
+			sc.checkUseAfterPut(res)
+			if !carriesStorage(sc.pkg, res) {
+				continue
+			}
+			st, id := sc.anyTrackedUnder(res)
+			if st == nil || st.escaped || (st.mustPut && !st.deferPut) {
+				continue
+			}
+			st.escaped = true
+			sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(ret.Pos()), Check: CheckPoolLife,
+				Msg: fmt.Sprintf("pooled object %q escapes via return; the pool may reuse its storage under the caller", id.Name)})
+		}
+	}
+	// Missing Put on this path. Escaped objects transferred ownership
+	// and were reported at the escape site; double-reporting the leak
+	// would just demand two pragmas for one decision.
+	ids := make([]int, 0, len(sc.state.stat))
+	for id := range sc.state.stat {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := sc.state.stat[id]
+		if st.deferPut || st.mustPut || st.escaped {
+			continue
+		}
+		msg := fmt.Sprintf("pool.Get result at line %d does not reach a Put on this return path", sc.fset.Position(st.getPos).Line)
+		if st.mayPut {
+			msg = fmt.Sprintf("pool.Get result at line %d is Put on some paths but not this one", sc.fset.Position(st.getPos).Line)
+		}
+		sc.finds = append(sc.finds, Finding{Pos: sc.fset.Position(pos), Check: CheckPoolLife, Msg: msg})
+	}
+}
+
+// carriesStorage reports whether e's type can alias pooled memory:
+// pointers, slices, maps and channels do; scalar and string copies do
+// not (interface-wrapped escapes are out of scope — the repo returns
+// pooled handles concretely).
+func carriesStorage(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}

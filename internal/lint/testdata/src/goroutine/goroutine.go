@@ -1,0 +1,84 @@
+// Package goroutine exercises the goroutinelife analyzer. The test
+// harness registers this package for lifecycle analysis, so every go
+// statement needs join evidence: a WaitGroup Add/Done pair, a
+// completion channel, or a cancellation loop.
+package goroutine
+
+import "sync"
+
+func work() int { return 1 }
+
+// FireAndForget spawns a goroutine nothing can join or stop.
+func FireAndForget() {
+	go func() { // want `fire-and-forget goroutine`
+		work()
+	}()
+}
+
+// AddInside registers with the WaitGroup from inside the goroutine:
+// the parent's Wait can return before Add runs.
+func AddInside(wg *sync.WaitGroup) {
+	go func() { // want `WaitGroup\.Add inside the spawned goroutine races the parent's Wait`
+		wg.Add(1)
+		defer wg.Done()
+		work()
+	}()
+}
+
+// AddBefore is the correct Add/Done protocol.
+func AddBefore(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Completion joins through a result channel, errgroup style.
+func Completion() chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- work()
+	}()
+	return ch
+}
+
+type pump struct {
+	stop chan struct{}
+	out  chan int
+}
+
+// Start spawns a named method; the analyzer looks one call deep and
+// finds loop's stop-channel select.
+func (p *pump) Start() {
+	go p.loop()
+}
+
+func (p *pump) loop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case p.out <- work():
+		}
+	}
+}
+
+// Drain ranges over a channel: the goroutine ends when the channel
+// closes, which is a cancellation shape.
+func Drain(in chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+// Audit is deliberately unjoined: a best-effort side effect the
+// process may drop on exit. The pragma records that decision.
+func Audit() {
+	//lint:allow goroutinelife best-effort audit write; process exit may drop it by design
+	go func() {
+		work()
+	}()
+}

@@ -1,0 +1,117 @@
+// Package lockdisc exercises the lockdiscipline analyzer. The test
+// harness registers this package for lifecycle analysis, so held
+// mutexes must be released on every return path, never re-acquired on
+// the same path, and never held across a blocking operation.
+package lockdisc
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+// Get is the intended shape: Lock, defer Unlock.
+func (s *store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[k]
+}
+
+// ReadBalanced pairs RLock with a deferred RUnlock.
+func (s *store) ReadBalanced(k string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.data[k]
+}
+
+// LeakOnError forgets to unlock on the early-return path.
+func (s *store) LeakOnError(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.data[k]
+	if !ok {
+		return 0, false // want `s\.mu locked at line \d+ is still held at this return`
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// MaybeRelease unlocks on one branch only.
+func (s *store) MaybeRelease(flush bool) {
+	s.mu.Lock()
+	if flush {
+		s.mu.Unlock()
+	}
+} // want `s\.mu locked at line \d+ may still be held at this return`
+
+// DoubleLock re-acquires the mutex it already holds.
+func (s *store) DoubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `Lock of s\.mu while already held \(locked at line \d+\)`
+	s.mu.Unlock()
+}
+
+// WrongUnlock releases a read lock with the write-side method.
+func (s *store) WrongUnlock() {
+	s.rw.RLock()
+	s.rw.Unlock() // want `s\.rw acquired via RLock at line \d+ but released with the wrong kind`
+}
+
+// PublishLocked sends on a channel while holding the mutex: one slow
+// receiver stalls every other caller.
+func (s *store) PublishLocked(ch chan<- int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- len(s.data) // want `channel send while s\.mu is held`
+}
+
+// SleepLocked parks with the lock held.
+func (s *store) SleepLocked() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// LockInLoop acquires per iteration without releasing: the second
+// iteration self-deadlocks.
+func (s *store) LockInLoop(keys []string) {
+	for range keys {
+		s.mu.Lock() // want `s\.mu locked at line \d+ is still held at the end of the loop iteration`
+	}
+}
+
+// HandoffLocked intentionally returns with the lock held: the caller
+// must release it. The pragma records the contract.
+func (s *store) HandoffLocked() {
+	s.mu.Lock()
+	//lint:allow lockdiscipline intentionally returns locked; ReleaseHandoff is the paired release
+	return
+}
+
+// ReleaseHandoff is HandoffLocked's paired release; unlocking a mutex
+// this function did not lock is the caller-holds contract and is not
+// flagged.
+func (s *store) ReleaseHandoff() {
+	s.mu.Unlock()
+}
+
+type condQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// WaitNonEmpty blocks on the condition variable with the lock held:
+// Cond.Wait requires exactly that and is exempt.
+func (q *condQueue) WaitNonEmpty() {
+	q.mu.Lock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+	q.n--
+	q.mu.Unlock()
+}

@@ -1,0 +1,114 @@
+// Package poollife exercises the poollife analyzer. The test harness
+// registers this package for lifecycle analysis, so every pool.Get
+// result must reach a Put on all paths, must not be used after Put,
+// and must not escape the function that got it.
+package poollife
+
+import "sync"
+
+type buf struct {
+	b []byte
+}
+
+var scratch = sync.Pool{New: func() any { return new(buf) }}
+
+// Clean is the intended shape: Get, defer Put, use.
+func Clean() int {
+	s := scratch.Get().(*buf)
+	defer scratch.Put(s)
+	return len(s.b)
+}
+
+// CleanBranch puts explicitly on both paths.
+func CleanBranch(n int) int {
+	s := scratch.Get().(*buf)
+	if n > 0 {
+		scratch.Put(s)
+		return n
+	}
+	scratch.Put(s)
+	return 0
+}
+
+// CleanAlias puts through an alias; alias groups share one status.
+func CleanAlias() {
+	s := scratch.Get().(*buf)
+	t := s
+	scratch.Put(t)
+}
+
+// Leak never returns its object to the pool.
+func Leak() {
+	s := scratch.Get().(*buf)
+	s.b = s.b[:0]
+} // want `pool\.Get result at line \d+ does not reach a Put on this return path`
+
+// LeakOnBranch puts on one path only.
+func LeakOnBranch(n int) int {
+	s := scratch.Get().(*buf)
+	if n > 0 {
+		scratch.Put(s)
+	}
+	return n // want `pool\.Get result at line \d+ is Put on some paths but not this one`
+}
+
+// DoublePut returns the same object twice.
+func DoublePut() {
+	s := scratch.Get().(*buf)
+	scratch.Put(s)
+	scratch.Put(s) // want `double Put of pooled object already returned at line \d+`
+}
+
+// UseAfterPut reads the object after the pool may have handed it out
+// again.
+func UseAfterPut() int {
+	s := scratch.Get().(*buf)
+	scratch.Put(s)
+	return cap(s.b) // want `s is used after being Put back to its pool at line \d+`
+}
+
+// Escape hands the pooled object to the caller.
+func Escape() *buf {
+	s := scratch.Get().(*buf)
+	return s // want `pooled object "s" escapes via return`
+}
+
+// EscapeView returns a slice backed by pooled storage; the deferred
+// Put makes the view dangle.
+func EscapeView() []byte {
+	s := scratch.Get().(*buf)
+	defer scratch.Put(s)
+	return s.b // want `pooled object "s" escapes via return`
+}
+
+// EscapeSend transfers the object over a channel with no ownership
+// contract.
+func EscapeSend(ch chan *buf) {
+	s := scratch.Get().(*buf)
+	ch <- s // want `pooled object "s" escapes via channel send`
+}
+
+// EscapeClosure captures the object in a closure that outlives the
+// call.
+func EscapeClosure() func() {
+	s := scratch.Get().(*buf)
+	return func() { s.b = nil } // want `pooled object "s" is captured by a closure`
+}
+
+type holder struct {
+	v *buf
+}
+
+// EscapeStore parks the object in a field that outlives the call.
+func EscapeStore(h *holder) {
+	s := scratch.Get().(*buf)
+	h.v = s // want `pooled object from pool\.Get at line \d+ is stored outside the function's locals`
+}
+
+// NewHandle transfers ownership to the caller by contract; the pragma
+// records the contract, as newBuilder/newParser do in dnswire.
+func NewHandle() *buf {
+	s := scratch.Get().(*buf)
+	//lint:allow poollife constructor hands pool ownership to the caller by contract
+	return s
+}

@@ -246,6 +246,7 @@ func (l *Listener) readUDP() {
 		}
 		l.udpQueries.Inc()
 		select {
+		//lint:allow poollife buffer ownership transfers to the worker, which Puts it after handling the packet
 		case l.queue <- udpPacket{buf: buf, n: n, raddr: raddr}:
 		default:
 			l.udpDropped.Inc()
